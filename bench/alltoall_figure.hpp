@@ -1,0 +1,144 @@
+// Shared driver for Figures 3, 4 and 5: relative performance of the
+// trivial and message-combining Cart_alltoall implementations against the
+// MPI_Neighbor_alltoall / MPI_Ineighbor_alltoall baselines, over the
+// stencil family d in {3,5}, n in {3,5} and block sizes m in {1,10,100}
+// ints, on a modeled fabric.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/harness.hpp"
+#include "cartcomm/cartcomm.hpp"
+#include "mpl/mpl.hpp"
+
+namespace figures {
+
+struct FigureConfig {
+  const char* title;
+  mpl::NetConfig net;
+  /// Behaviour of the library baseline: `direct` models a good library
+  /// (Cray MPI, Figure 5); `serialized_rendezvous` models the pathological
+  /// neighborhood-collective implementations the paper measured in
+  /// Open MPI / Intel MPI (Figures 3 and 4).
+  mpl::NeighborAlgorithm baseline_mode;
+  /// Appendix A filtering: lower half (Hydra) or smallest third (Titan).
+  bool titan_filter;
+  /// Also report the non-blocking and trivial variants (Figures 3/4); the
+  /// Figure 5 plot has only the baseline and the combining implementation.
+  bool all_variants;
+  int reps;
+};
+
+inline double filtered_mean(std::vector<double> xs, bool titan) {
+  return harness::stats(titan ? harness::smallest_third(std::move(xs))
+                              : harness::lower_half(std::move(xs)))
+      .mean;
+}
+
+inline void run_case(const FigureConfig& cfg, int d, int n) {
+  std::vector<int> dims(static_cast<std::size_t>(d), d == 3 ? 4 : 2);
+  int p = 1;
+  for (int x : dims) p *= x;
+  const cartcomm::Neighborhood nb = cartcomm::Neighborhood::stencil(d, n, -1);
+  const int t = nb.count();
+
+  mpl::RunOptions opts;
+  opts.net = cfg.net;
+  mpl::run(
+      p,
+      [&](mpl::Comm& world) {
+        auto cc = cartcomm::cart_neighborhood_create(world, dims, {}, nb);
+        mpl::DistGraphComm g = cc.to_dist_graph();
+        const mpl::Datatype kInt = mpl::Datatype::of<int>();
+
+        for (const int m : {1, 10, 100}) {
+          std::vector<int> sb(static_cast<std::size_t>(t) * m, world.rank());
+          std::vector<int> rb(static_cast<std::size_t>(t) * m);
+
+          auto time = [&](auto&& op) {
+            return harness::time_collective(world, cfg.reps, op);
+          };
+          const double base = filtered_mean(
+              time([&] {
+                mpl::neighbor_alltoall(sb.data(), m, kInt, rb.data(), m, kInt,
+                                       g, cfg.baseline_mode);
+              }),
+              cfg.titan_filter);
+          double inb = 0.0, direct = 0.0, triv = 0.0;
+          if (cfg.all_variants) {
+            // The paper found the blocking and non-blocking library
+            // collectives equally affected (Intel MPI exactly on par); the
+            // pathology model therefore applies to both.
+            inb = cfg.baseline_mode == mpl::NeighborAlgorithm::direct
+                      ? filtered_mean(time([&] {
+                                        mpl::ineighbor_alltoall(sb.data(), m,
+                                                                kInt, rb.data(),
+                                                                m, kInt, g)
+                                            .wait();
+                                      }),
+                                      cfg.titan_filter)
+                      : filtered_mean(time([&] {
+                                        mpl::neighbor_alltoall(
+                                            sb.data(), m, kInt, rb.data(), m,
+                                            kInt, g, cfg.baseline_mode);
+                                      }),
+                                      cfg.titan_filter);
+            // Reference: what a good (direct-delivery) library achieves.
+            direct = filtered_mean(time([&] {
+                                     mpl::neighbor_alltoall(
+                                         sb.data(), m, kInt, rb.data(), m,
+                                         kInt, g, mpl::NeighborAlgorithm::direct);
+                                   }),
+                                   cfg.titan_filter);
+            triv = filtered_mean(
+                time([&] {
+                  cartcomm::alltoall(sb.data(), m, kInt, rb.data(), m, kInt,
+                                     cc, cartcomm::Algorithm::trivial);
+                }),
+                cfg.titan_filter);
+          }
+          auto comb_op = cartcomm::alltoall_init(
+              sb.data(), m, kInt, rb.data(), m, kInt, cc,
+              cartcomm::Algorithm::combining);
+          const double comb =
+              filtered_mean(time([&] { comb_op.execute(); }), cfg.titan_filter);
+
+          if (world.rank() == 0) {
+            if (cfg.all_variants) {
+              std::printf(
+                  "d=%d n=%d (t=%4d) m=%3d | neighbor %9.4f ms (1.00) | "
+                  "ineighbor %9.4f ms (%5.2f) | direct-ref %9.4f ms (%5.2f) | "
+                  "trivial %9.4f ms (%5.2f, %4.2fx direct) | "
+                  "combining %9.4f ms (%5.3f)\n",
+                  d, n, t, m, harness::ms(base), harness::ms(inb), inb / base,
+                  harness::ms(direct), direct / base, harness::ms(triv),
+                  triv / base, triv / direct, harness::ms(comb), comb / base);
+            } else {
+              std::printf(
+                  "d=%d n=%d (t=%4d) m=%3d | neighbor %9.4f ms (1.00) | "
+                  "combining %9.4f ms (%5.3f)\n",
+                  d, n, t, m, harness::ms(base), harness::ms(comb),
+                  comb / base);
+            }
+          }
+        }
+      },
+      opts);
+}
+
+inline int run_figure(const FigureConfig& cfg) {
+  std::printf("%s\n", cfg.title);
+  std::printf("(relative run-time vs the blocking neighborhood baseline in "
+              "parentheses; smaller is better)\n");
+  for (const int d : {3, 5}) {
+    for (const int n : {3, 5}) {
+      run_case(cfg, d, n);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
+}  // namespace figures

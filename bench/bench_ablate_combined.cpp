@@ -1,0 +1,54 @@
+// Ablation (Section 3.4): overlap-avoiding combined halo schedules.
+// Compares the plain Cart_alltoallw halo exchange (corners travel inside
+// the face strips AND as separate diagonal blocks) against the merged
+// alltoall-faces + corner-allgather plan, in volume, rounds and modeled
+// time, over halo depths.
+#include "bench/harness.hpp"
+#include "stencil/field.hpp"
+#include "stencil/halo.hpp"
+
+int main() {
+  std::printf("Ablation: Section 3.4 combined halo schedules "
+              "(2-D, 3x3 process torus, OmniPath model)\n\n");
+  const std::vector<int> pdims{3, 3};
+  const std::vector<int> periods{1, 1};
+
+  for (const int depth : {1, 2, 4}) {
+    for (const int nloc : {16, 64}) {
+      mpl::RunOptions opts;
+      opts.net = mpl::NetConfig::omnipath();
+      mpl::run(
+          9,
+          [&](mpl::Comm& world) {
+            stencil::Field<double> f({nloc, nloc}, depth);
+            stencil::HaloExchange plain(world, pdims, periods, f,
+                                        stencil::HaloMode::alltoallw,
+                                        cartcomm::Algorithm::combining);
+            stencil::HaloExchange comb(world, pdims, periods, f,
+                                       stencil::HaloMode::combined);
+            const double tp =
+                harness::stats(harness::time_collective(
+                                   world, 5, [&] { plain.exchange(); }))
+                    .mean;
+            const double tc =
+                harness::stats(harness::time_collective(
+                                   world, 5, [&] { comb.exchange(); }))
+                    .mean;
+            if (world.rank() == 0) {
+              std::printf(
+                  "h=%d n=%3d | plain: %2d rounds %6lld B, %.4f ms | combined: "
+                  "%2d rounds %6lld B, %.4f ms | volume saved %4.1f%%, "
+                  "speedup %.2fx\n",
+                  depth, nloc, plain.rounds(), plain.send_bytes(),
+                  harness::ms(tp), comb.rounds(), comb.send_bytes(),
+                  harness::ms(tc),
+                  100.0 * (1.0 - static_cast<double>(comb.send_bytes()) /
+                                     static_cast<double>(plain.send_bytes())),
+                  tp / tc);
+            }
+          },
+          opts);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Ablation (Section 3.1): the trivial/combining cut-off. Sweeps the block
+// size m for two stencil neighborhoods on the OmniPath model and compares
+// the measured crossover against the analytic prediction
+//   m* = (alpha/beta) * (t - C)/(V - t).
+#include "bench/harness.hpp"
+#include "cartcomm/cartcomm.hpp"
+
+namespace {
+
+void sweep(int d, int n) {
+  std::vector<int> dims(static_cast<std::size_t>(d), d <= 3 ? 4 : 2);
+  int p = 1;
+  for (int x : dims) p *= x;
+  const auto nb = cartcomm::Neighborhood::stencil(d, n, -1);
+  const auto s = cartcomm::analyze(nb);
+  const double predicted =
+      cartcomm::predicted_cutoff_bytes(s, mpl::NetConfig::omnipath());
+  std::printf("d=%d n=%d: t=%d C=%d V=%lld ratio %.3f -> predicted cut-off "
+              "%.0f bytes/block\n",
+              d, n, s.t, s.combining_rounds, s.alltoall_volume, s.cutoff_ratio,
+              predicted);
+
+  mpl::RunOptions opts;
+  opts.net = mpl::NetConfig::omnipath();
+  mpl::run(
+      p,
+      [&](mpl::Comm& world) {
+        auto cc = cartcomm::cart_neighborhood_create(world, dims, {}, nb);
+        const mpl::Datatype kInt = mpl::Datatype::of<int>();
+        const int t = nb.count();
+        double crossover = -1.0;
+        for (const int m : {1, 4, 16, 64, 256, 1024, 4096, 16384}) {
+          std::vector<int> sb(static_cast<std::size_t>(t) * m, 1);
+          std::vector<int> rb(static_cast<std::size_t>(t) * m);
+          auto triv_op = cartcomm::alltoall_init(sb.data(), m, kInt, rb.data(),
+                                                 m, kInt, cc,
+                                                 cartcomm::Algorithm::trivial);
+          auto comb_op = cartcomm::alltoall_init(
+              sb.data(), m, kInt, rb.data(), m, kInt, cc,
+              cartcomm::Algorithm::combining);
+          const double triv =
+              harness::stats(harness::time_collective(world, 3,
+                                                      [&] { triv_op.execute(); }))
+                  .mean;
+          const double comb =
+              harness::stats(harness::time_collective(world, 3,
+                                                      [&] { comb_op.execute(); }))
+                  .mean;
+          if (world.rank() == 0) {
+            std::printf("  m=%6d (%8zu B/block): trivial %9.4f ms, combining "
+                        "%9.4f ms -> %s\n",
+                        m, m * sizeof(int), harness::ms(triv), harness::ms(comb),
+                        comb < triv ? "combining wins" : "trivial wins");
+            if (crossover < 0 && comb >= triv) {
+              crossover = static_cast<double>(m) * sizeof(int);
+            }
+          }
+        }
+        if (world.rank() == 0) {
+          if (crossover < 0) {
+            std::printf("  measured crossover: beyond the sweep (predicted "
+                        "%.0f B)\n\n", predicted);
+          } else {
+            std::printf("  measured crossover near %.0f B/block vs predicted "
+                        "%.0f B/block\n\n", crossover, predicted);
+          }
+        }
+      },
+      opts);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Ablation: trivial vs message-combining cut-off (Section 3.1, "
+              "OmniPath model)\n\n");
+  sweep(3, 3);
+  sweep(3, 5);
+  sweep(4, 3);
+  return 0;
+}

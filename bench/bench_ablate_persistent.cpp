@@ -1,0 +1,66 @@
+// Ablation (Section 2): value of the persistent *_init operations.
+// Compares per-iteration cost of (a) the persistent precomputed schedule,
+// (b) the non-persistent collective (schedule recomputed every call, the
+// behaviour an MPI library without persistence would exhibit), measured
+// in wall-clock time (schedule construction is host CPU work, invisible
+// to the virtual clocks).
+#include <chrono>
+
+#include "bench/harness.hpp"
+#include "cartcomm/cartcomm.hpp"
+
+namespace {
+
+double wall_seconds_per_iter(int iters, const std::function<void()>& op) {
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < iters; ++i) op();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count() / iters;
+}
+
+void run_case(int d, int n, int m) {
+  std::vector<int> dims(static_cast<std::size_t>(d), 2);
+  int p = 1;
+  for (int x : dims) p *= x;
+  const auto nb = cartcomm::Neighborhood::stencil(d, n, -1);
+  const int t = nb.count();
+
+  mpl::run(p, [&](mpl::Comm& world) {
+    auto cc = cartcomm::cart_neighborhood_create(world, dims, {}, nb);
+    const mpl::Datatype kInt = mpl::Datatype::of<int>();
+    std::vector<int> sb(static_cast<std::size_t>(t) * m, 1);
+    std::vector<int> rb(static_cast<std::size_t>(t) * m);
+    auto op = cartcomm::alltoall_init(sb.data(), m, kInt, rb.data(), m, kInt,
+                                      cc, cartcomm::Algorithm::combining);
+    const int iters = t > 1000 ? 20 : 100;
+    world.hard_sync();
+    const double persistent =
+        wall_seconds_per_iter(iters, [&] { op.execute(); });
+    world.hard_sync();
+    const double rebuilt = wall_seconds_per_iter(iters, [&] {
+      cartcomm::alltoall(sb.data(), m, kInt, rb.data(), m, kInt, cc,
+                         cartcomm::Algorithm::combining);
+    });
+    world.hard_sync();
+    if (world.rank() == 0) {
+      std::printf("d=%d n=%d (t=%4d) m=%3d | persistent %8.3f ms/iter | "
+                  "rebuilt each call %8.3f ms/iter | init amortizes %4.1fx\n",
+                  d, n, t, m, harness::ms(persistent), harness::ms(rebuilt),
+                  rebuilt / persistent);
+    }
+  });
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Ablation: persistent schedules (Cart_*_init) vs per-call "
+              "schedule recomputation (wall-clock, %s)\n\n",
+              "no network model");
+  run_case(3, 3, 1);
+  run_case(4, 3, 1);
+  run_case(5, 3, 1);
+  run_case(5, 5, 1);
+  run_case(5, 5, 100);
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Datatype engine micro-benchmarks (the zero-copy substrate): pack/unpack
+// throughput for the layouts the schedules generate — contiguous runs,
+// strided columns, and many-block absolute types like a schedule round's
+// send type.
+#include <benchmark/benchmark.h>
+
+#include <numeric>
+#include <vector>
+
+#include "mpl/datatype.hpp"
+
+namespace {
+
+void BM_PackContiguous(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  std::vector<double> src(static_cast<std::size_t>(n));
+  std::iota(src.begin(), src.end(), 0.0);
+  mpl::Datatype t = mpl::Datatype::contiguous(n, mpl::Datatype::of<double>());
+  std::vector<std::byte> out(t.pack_size(1));
+  for (auto _ : state) {
+    t.pack(src.data(), 1, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(t.size()));
+}
+
+void BM_PackStridedColumn(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  std::vector<double> m(static_cast<std::size_t>(n) * static_cast<std::size_t>(n));
+  mpl::Datatype col = mpl::Datatype::vector(n, 1, n, mpl::Datatype::of<double>());
+  std::vector<std::byte> out(col.pack_size(1));
+  for (auto _ : state) {
+    col.pack(m.data(), 1, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(col.size()));
+}
+
+void BM_UnpackStridedColumn(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  std::vector<double> m(static_cast<std::size_t>(n) * static_cast<std::size_t>(n));
+  mpl::Datatype col = mpl::Datatype::vector(n, 1, n, mpl::Datatype::of<double>());
+  std::vector<std::byte> in(col.pack_size(1));
+  for (auto _ : state) {
+    col.unpack(in.data(), m.data(), 1);
+    benchmark::DoNotOptimize(m.data());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(col.size()));
+}
+
+// A schedule-round-like type: many scattered small blocks appended through
+// the absolute TypeBuilder (the TypeApp path of Algorithm 1).
+void BM_PackScheduleRoundType(benchmark::State& state) {
+  const int blocks = static_cast<int>(state.range(0));
+  const int m = 25;  // ints per block (m=25 -> 100 B blocks)
+  std::vector<int> pool(static_cast<std::size_t>(blocks) * 64);
+  mpl::TypeBuilder tb;
+  for (int i = 0; i < blocks; ++i) {
+    tb.append(pool.data() + static_cast<std::size_t>(i) * 64, m,
+              mpl::Datatype::of<int>());
+  }
+  mpl::Datatype t = tb.build();
+  std::vector<std::byte> out(t.pack_size(1));
+  for (auto _ : state) {
+    t.pack(mpl::BOTTOM, 1, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(state.iterations() * static_cast<int64_t>(t.size()));
+}
+
+void BM_BuildScheduleRoundType(benchmark::State& state) {
+  const int blocks = static_cast<int>(state.range(0));
+  std::vector<int> pool(static_cast<std::size_t>(blocks) * 64);
+  for (auto _ : state) {
+    mpl::TypeBuilder tb;
+    for (int i = 0; i < blocks; ++i) {
+      tb.append(pool.data() + static_cast<std::size_t>(i) * 64, 25,
+                mpl::Datatype::of<int>());
+    }
+    benchmark::DoNotOptimize(tb.build());
+  }
+  state.SetItemsProcessed(state.iterations() * blocks);
+}
+
+}  // namespace
+
+BENCHMARK(BM_PackContiguous)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 18);
+BENCHMARK(BM_PackStridedColumn)->Arg(64)->Arg(256)->Arg(1024);
+BENCHMARK(BM_UnpackStridedColumn)->Arg(64)->Arg(256)->Arg(1024);
+BENCHMARK(BM_PackScheduleRoundType)->Arg(32)->Arg(256)->Arg(2048);
+BENCHMARK(BM_BuildScheduleRoundType)->Arg(32)->Arg(256)->Arg(2048);
+
+BENCHMARK_MAIN();

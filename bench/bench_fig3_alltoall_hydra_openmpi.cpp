@@ -1,0 +1,22 @@
+// Figure 3: Cart_alltoall vs MPI_Neighbor_alltoall, Open MPI on Hydra.
+//
+// The fabric is the OmniPath-like model; the library baseline runs in the
+// serialized-rendezvous mode that reproduces the pathological behaviour
+// the paper measured in Open MPI 3.1 (growing with both neighbor count and
+// block size). The paper used 36x32 = 1152 processes; the model's
+// per-process times do not depend on p for this pattern, so a smaller
+// symmetric torus is used (see DESIGN.md).
+#include "bench/alltoall_figure.hpp"
+
+int main() {
+  figures::FigureConfig cfg;
+  cfg.title =
+      "Figure 3: Cart_alltoall relative performance "
+      "(Hydra/OmniPath model, Open MPI-like baseline)";
+  cfg.net = mpl::NetConfig::omnipath();
+  cfg.baseline_mode = mpl::NeighborAlgorithm::serialized_rendezvous;
+  cfg.titan_filter = false;
+  cfg.all_variants = true;
+  cfg.reps = 5;
+  return figures::run_figure(cfg);
+}

@@ -1,0 +1,22 @@
+// Figure 4: Cart_alltoall vs MPI_Neighbor_alltoall, Intel MPI on Hydra.
+//
+// Same fabric model as Figure 3; Intel MPI 2018 (shm disabled, OmniPath
+// fabric only, as in the paper) showed the same class of pathology in the
+// neighborhood collectives, with blocking and non-blocking variants on
+// par — which also holds for this model's baseline.
+#include "bench/alltoall_figure.hpp"
+
+int main() {
+  figures::FigureConfig cfg;
+  cfg.title =
+      "Figure 4: Cart_alltoall relative performance "
+      "(Hydra/OmniPath model, Intel MPI-like baseline)";
+  mpl::NetConfig net = mpl::NetConfig::omnipath();
+  net.o = 0.5e-6;  // slightly higher software overhead than Open MPI's
+  cfg.net = net;
+  cfg.baseline_mode = mpl::NeighborAlgorithm::serialized_rendezvous;
+  cfg.titan_filter = false;
+  cfg.all_variants = true;
+  cfg.reps = 5;
+  return figures::run_figure(cfg);
+}

@@ -1,0 +1,21 @@
+// Figure 5: Cart_alltoall vs MPI_Neighbor_alltoall, Cray MPI on Titan
+// (1024x16 processes in the paper).
+//
+// Cray MPI's neighborhood collectives behaved like the canonical direct
+// delivery implementation, so the baseline runs in direct mode on the
+// Gemini-like fabric model; the figure shows only the baseline and the
+// message-combining implementation, as in the paper.
+#include "bench/alltoall_figure.hpp"
+
+int main() {
+  figures::FigureConfig cfg;
+  cfg.title =
+      "Figure 5: Cart_alltoall relative performance "
+      "(Titan/Gemini model, Cray MPI-like direct baseline)";
+  cfg.net = mpl::NetConfig::gemini();
+  cfg.baseline_mode = mpl::NeighborAlgorithm::direct;
+  cfg.titan_filter = true;
+  cfg.all_variants = false;
+  cfg.reps = 6;
+  return figures::run_figure(cfg);
+}

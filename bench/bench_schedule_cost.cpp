@@ -1,0 +1,73 @@
+// Proposition 3.1 ablation: schedule computation is O(td), local only.
+// google-benchmark over the stencil family; time per neighbor should stay
+// roughly constant as t grows, for both the alltoall and allgather
+// schedule builders.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "cartcomm/cartcomm.hpp"
+#include "mpl/mpl.hpp"
+
+namespace {
+
+// Build one CartNeighborComm per (d, n) outside the timed region. The
+// builders are purely local (Proposition 3.1), so a single-process torus
+// is sufficient.
+void run_builder_bench(benchmark::State& state, bool allgather) {
+  const int d = static_cast<int>(state.range(0));
+  const int n = static_cast<int>(state.range(1));
+  const auto nb = cartcomm::Neighborhood::stencil(d, n, -1);
+  const int t = nb.count();
+  const std::vector<int> dims(static_cast<std::size_t>(d), 1);
+
+  mpl::run(1, [&](mpl::Comm& world) {
+    auto cc = cartcomm::cart_neighborhood_create(world, dims, {}, nb);
+    std::vector<int> sb(static_cast<std::size_t>(t)), rb(static_cast<std::size_t>(t));
+    std::vector<cartcomm::SendBlock> sends(static_cast<std::size_t>(t));
+    std::vector<cartcomm::RecvBlock> recvs(static_cast<std::size_t>(t));
+    const mpl::Datatype kInt = mpl::Datatype::of<int>();
+    for (int i = 0; i < t; ++i) {
+      sends[static_cast<std::size_t>(i)] = {&sb[static_cast<std::size_t>(i)], 1, kInt};
+      recvs[static_cast<std::size_t>(i)] = {&rb[static_cast<std::size_t>(i)], 1, kInt};
+    }
+    for (auto _ : state) {
+      if (allgather) {
+        benchmark::DoNotOptimize(
+            cartcomm::build_allgather_schedule(cc, sends.front(), recvs));
+      } else {
+        benchmark::DoNotOptimize(
+            cartcomm::build_alltoall_schedule(cc, sends, recvs));
+      }
+    }
+    // items/s should scale ~linearly with t if construction is O(td).
+    state.SetItemsProcessed(state.iterations() * t);
+    state.counters["t"] = t;
+  });
+}
+
+void BM_AlltoallSchedule(benchmark::State& state) {
+  run_builder_bench(state, false);
+}
+void BM_AllgatherSchedule(benchmark::State& state) {
+  run_builder_bench(state, true);
+}
+
+}  // namespace
+
+BENCHMARK(BM_AlltoallSchedule)
+    ->Args({2, 3})
+    ->Args({3, 3})
+    ->Args({4, 3})
+    ->Args({5, 3})
+    ->Args({5, 5})
+    ->Args({6, 5});
+BENCHMARK(BM_AllgatherSchedule)
+    ->Args({2, 3})
+    ->Args({3, 3})
+    ->Args({4, 3})
+    ->Args({5, 3})
+    ->Args({5, 5})
+    ->Args({6, 5});
+
+BENCHMARK_MAIN();

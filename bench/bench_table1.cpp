@@ -1,0 +1,35 @@
+// Regenerates Table 1 of the paper: communication rounds, volumes and the
+// cut-off threshold for the stencil benchmark family (f = -1).
+//
+// Row conventions match the paper: the `t` row is the number of
+// communication rounds of the trivial algorithm (n^d - 1: the self block
+// is copied, not sent); the cut-off ratio is (t - C)/(V - t) with t = n^d,
+// the convention the paper's numbers follow. Note the d=2, n=3 entry
+// prints 1.667 where the paper's table shows 1.167 — see EXPERIMENTS.md
+// (typo in the paper; every other entry matches the formula).
+#include <cstdio>
+
+#include "cartcomm/cartcomm.hpp"
+
+int main() {
+  std::printf("Table 1: rounds, volumes, cut-off (stencil family, f = -1)\n");
+  std::printf("%-3s %-3s | %12s %12s | %12s %12s | %10s\n", "d", "n",
+              "t (trivial)", "C = d(n-1)", "allgather V", "alltoall V",
+              "cut-off");
+  std::printf("------------------------------------------------------------"
+              "----------------\n");
+  for (int d = 2; d <= 5; ++d) {
+    for (int n = 3; n <= 5; ++n) {
+      const auto nb = cartcomm::Neighborhood::stencil(d, n, -1);
+      const auto s = cartcomm::analyze(nb);
+      std::printf("%-3d %-3d | %12d %12d | %12lld %12lld | %10.3f\n", d, n,
+                  s.trivial_rounds, s.combining_rounds, s.allgather_volume,
+                  s.alltoall_volume, s.cutoff_ratio);
+    }
+    std::printf("\n");
+  }
+  std::printf("(allgather message-combining volume equals the trivial "
+              "algorithm's volume t for this family,\n but uses exponentially "
+              "fewer rounds: C = d(n-1) instead of n^d - 1.)\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Shared benchmark harness: virtual-clock timing of collective operations
+// and the measurement post-processing of the paper's Appendix A.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "mpl/mpl.hpp"
+
+namespace harness {
+
+/// Time `op` for `reps` repetitions under the network cost model. Clocks
+/// are reset before each repetition; the returned per-repetition time is
+/// the completion time of the slowest process (identical on every process).
+template <typename F>
+std::vector<double> time_collective(const mpl::Comm& comm, int reps, F&& op,
+                                    int warmups = 1) {
+  std::vector<double> out;
+  out.reserve(static_cast<std::size_t>(reps));
+  for (int r = -warmups; r < reps; ++r) {
+    comm.vclock_reset_sync();
+    op();
+    const double elapsed = comm.vclock();
+    comm.hard_sync();
+    const double t = mpl::allreduce(elapsed, mpl::op::max{}, comm);
+    if (r >= 0) out.push_back(t);
+  }
+  return out;
+}
+
+/// Mean and half-width of the 95% confidence interval.
+struct Stats {
+  double mean = 0.0;
+  double ci95 = 0.0;
+};
+
+inline Stats stats(std::vector<double> xs) {
+  Stats s;
+  if (xs.empty()) return s;
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  s.mean = sum / static_cast<double>(xs.size());
+  if (xs.size() > 1) {
+    double var = 0.0;
+    for (double x : xs) var += (x - s.mean) * (x - s.mean);
+    var /= static_cast<double>(xs.size() - 1);
+    s.ci95 = 1.96 * std::sqrt(var / static_cast<double>(xs.size()));
+  }
+  return s;
+}
+
+/// Appendix A, Hydra processing: keep only the first and second quartile
+/// (the lower half) of the sorted measurements.
+inline std::vector<double> lower_half(std::vector<double> xs) {
+  std::sort(xs.begin(), xs.end());
+  xs.resize(std::max<std::size_t>(1, xs.size() / 2));
+  return xs;
+}
+
+/// Appendix A, Titan processing: keep only the smallest third.
+inline std::vector<double> smallest_third(std::vector<double> xs) {
+  std::sort(xs.begin(), xs.end());
+  xs.resize(std::max<std::size_t>(1, xs.size() / 3));
+  return xs;
+}
+
+inline double ms(double seconds) { return seconds * 1e3; }
+
+}  // namespace harness

@@ -1,0 +1,63 @@
+// Quickstart: create a Cartesian neighborhood communicator for a 9-point
+// (Moore) stencil on a 2-D torus and run one Cart_alltoall and one
+// Cart_allgather, with both the trivial and the message-combining
+// algorithms. Prints what moved where for rank 0.
+//
+// Build & run:   ./quickstart
+#include <cstdio>
+#include <vector>
+
+#include "cartcomm/cartcomm.hpp"
+#include "mpl/mpl.hpp"
+
+int main() {
+  const std::vector<int> dims{3, 4};  // 12 processes on a 3x4 torus
+  const int p = 12;
+
+  mpl::run(p, [&](mpl::Comm& world) {
+    // Every process supplies the SAME list of relative offsets — the
+    // Cartesian (isomorphic) requirement that enables the local,
+    // message-combining schedule computation.
+    const cartcomm::Neighborhood nb = cartcomm::Neighborhood::moore(2);
+    auto cart = cartcomm::cart_neighborhood_create(world, dims, /*periods=*/{},
+                                                   nb);
+
+    const int t = nb.count();  // 9, including the process itself
+    std::vector<int> sendbuf(static_cast<std::size_t>(t));
+    std::vector<int> recvbuf(static_cast<std::size_t>(t), -1);
+    for (int i = 0; i < t; ++i) {
+      sendbuf[static_cast<std::size_t>(i)] = world.rank() * 100 + i;
+    }
+
+    // Personalized exchange: block i goes to the neighbor at offset N[i].
+    cartcomm::alltoall(sendbuf.data(), 1, mpl::Datatype::of<int>(),
+                       recvbuf.data(), 1, mpl::Datatype::of<int>(), cart,
+                       cartcomm::Algorithm::combining);
+
+    if (world.rank() == 0) {
+      std::printf("Cart_alltoall on a %dx%d torus, %d-point neighborhood\n",
+                  dims[0], dims[1], t);
+      const auto& s = cart.stats();
+      std::printf("  trivial rounds: %d   combining rounds: %d   volume: %lld\n",
+                  s.trivial_rounds, s.combining_rounds, s.alltoall_volume);
+      for (int i = 0; i < t; ++i) {
+        std::printf("  block %d: offset (%+d,%+d)  from rank %2d -> value %d\n",
+                    i, nb.coord(i, 0), nb.coord(i, 1),
+                    cart.source_ranks()[static_cast<std::size_t>(i)],
+                    recvbuf[static_cast<std::size_t>(i)]);
+      }
+    }
+
+    // Allgather: the same block replicated to all 9 neighbors.
+    const int mine = world.rank() * 1000;
+    std::vector<int> gathered(static_cast<std::size_t>(t), -1);
+    cartcomm::allgather(&mine, 1, mpl::Datatype::of<int>(), gathered.data(), 1,
+                        mpl::Datatype::of<int>(), cart);
+    if (world.rank() == 0) {
+      std::printf("Cart_allgather results at rank 0:");
+      for (int v : gathered) std::printf(" %d", v);
+      std::printf("\n");
+    }
+  });
+  return 0;
+}

@@ -1,0 +1,27 @@
+// Per-neighbor data block descriptors shared by the schedule builders and
+// the public collective operations.
+#pragma once
+
+#include "mpl/datatype.hpp"
+
+namespace cartcomm {
+
+/// One outgoing block: `count` elements of `type` at `addr`.
+struct SendBlock {
+  const void* addr = nullptr;
+  int count = 0;
+  mpl::Datatype type;
+
+  [[nodiscard]] std::size_t bytes() const { return type.pack_size(count); }
+};
+
+/// One incoming block destination.
+struct RecvBlock {
+  void* addr = nullptr;
+  int count = 0;
+  mpl::Datatype type;
+
+  [[nodiscard]] std::size_t bytes() const { return type.pack_size(count); }
+};
+
+}  // namespace cartcomm

@@ -1,0 +1,35 @@
+// Message-combining schedule construction (Algorithms 1 and 2).
+#pragma once
+
+#include <span>
+
+#include "cartcomm/analysis.hpp"
+#include "cartcomm/blocks.hpp"
+#include "cartcomm/cart_comm.hpp"
+#include "cartcomm/schedule.hpp"
+
+namespace cartcomm {
+
+/// Algorithm 1: the message-combining alltoall schedule. One send and one
+/// receive block per neighbor (regular and irregular variants differ only
+/// in the descriptors). Per-neighbor send and receive blocks must have
+/// equal packed sizes, and — as for all Cartesian collectives — all
+/// processes must pass blocks of identical sizes per neighbor index.
+/// Runs in d phases of sum(C_k) rounds; per-process volume sum(z_i) blocks
+/// (Proposition 3.2). O(td) construction, local only (Proposition 3.1).
+Schedule build_alltoall_schedule(const CartNeighborComm& cc,
+                                 std::span<const SendBlock> sends,
+                                 std::span<const RecvBlock> recvs);
+
+/// Algorithm 2: the message-combining allgather schedule. One send block
+/// (replicated to all targets), one receive block per source neighbor; all
+/// blocks must have the send block's packed size. The routing tree is
+/// built over dimensions in the given order (the paper's default explores
+/// dimensions by increasing C_k). Runs in d phases of sum(C_k) rounds;
+/// per-process volume = number of tree edges (Proposition 3.3).
+Schedule build_allgather_schedule(const CartNeighborComm& cc,
+                                  const SendBlock& send,
+                                  std::span<const RecvBlock> recvs,
+                                  DimOrder order = DimOrder::increasing_ck);
+
+}  // namespace cartcomm

@@ -1,0 +1,379 @@
+#include "cartcomm/coll.hpp"
+
+#include <algorithm>
+
+#include "mpl/collectives.hpp"
+#include "mpl/error.hpp"
+
+namespace cartcomm {
+
+namespace {
+
+const char* at_bytes(const void* base, std::ptrdiff_t disp) {
+  return static_cast<const char*>(base) + disp;
+}
+char* at_bytes(void* base, std::ptrdiff_t disp) {
+  return static_cast<char*>(base) + disp;
+}
+
+std::size_t max_block_bytes(std::span<const SendBlock> sends) {
+  std::size_t m = 0;
+  for (const SendBlock& s : sends) m = std::max(m, s.bytes());
+  return m;
+}
+
+}  // namespace
+
+/// Internal factory assembling PersistentColl objects for all variants.
+class CollBuilder {
+ public:
+  static PersistentColl make(const CartNeighborComm& cc,
+                             std::vector<SendBlock> sends,
+                             std::vector<RecvBlock> recvs, bool allgather,
+                             DimOrder order, Algorithm alg) {
+    const Neighborhood& nb = cc.neighborhood();
+    MPL_REQUIRE(sends.size() == static_cast<std::size_t>(nb.count()) &&
+                    recvs.size() == static_cast<std::size_t>(nb.count()),
+                "cartcomm collective: one block per neighbor required");
+    PersistentColl p;
+    p.comm_ = cc.comm();
+    p.allgather_ = allgather;
+    p.alg_ = allgather ? cc.resolve_allgather(alg)
+                       : cc.resolve_alltoall(alg, max_block_bytes(sends));
+    if (p.alg_ == Algorithm::combining) {
+      if (allgather) {
+        p.sched_ = build_allgather_schedule(cc, sends.front(), recvs, order);
+      } else {
+        p.sched_ = build_alltoall_schedule(cc, sends, recvs);
+      }
+      return p;
+    }
+    // Trivial plan (Listing 4): one send-receive round per neighbor, with
+    // the zero-vector blocks handled by local copies.
+    p.sends_ = std::move(sends);
+    p.recvs_ = std::move(recvs);
+    const int t = nb.count();
+    p.send_rank_.resize(static_cast<std::size_t>(t));
+    p.recv_rank_.resize(static_cast<std::size_t>(t));
+    for (int i = 0; i < t; ++i) {
+      if (nb.nonzeros(i) == 0) {
+        p.self_idx_.push_back(i);
+        p.send_rank_[static_cast<std::size_t>(i)] = mpl::PROC_NULL;
+        p.recv_rank_[static_cast<std::size_t>(i)] = mpl::PROC_NULL;
+      } else {
+        p.send_rank_[static_cast<std::size_t>(i)] =
+            cc.target_ranks()[static_cast<std::size_t>(i)];
+        p.recv_rank_[static_cast<std::size_t>(i)] =
+            cc.source_ranks()[static_cast<std::size_t>(i)];
+      }
+    }
+    return p;
+  }
+};
+
+void PersistentColl::execute() const {
+  MPL_REQUIRE(comm_.valid(), "execute on default-constructed PersistentColl");
+  if (alg_ == Algorithm::combining) {
+    sched_.execute(comm_);
+    return;
+  }
+  // Trivial t-round algorithm (Listing 4): blocking send-receive per
+  // neighbor; deadlock-free because neighborhoods are isomorphic (and the
+  // transport is eager).
+  for (std::size_t i = 0; i < sends_.size(); ++i) {
+    const int dst = send_rank_[i];
+    const int src = recv_rank_[i];
+    if (dst == mpl::PROC_NULL && src == mpl::PROC_NULL) continue;
+    comm_.sendrecv(sends_[i].addr, sends_[i].count, sends_[i].type, dst,
+                   kCartTag, recvs_[i].addr, recvs_[i].count, recvs_[i].type,
+                   src, kCartTag);
+  }
+  for (const int i : self_idx_) {
+    const std::size_t ui = static_cast<std::size_t>(i);
+    mpl::copy_typed(sends_[ui].addr, sends_[ui].count, sends_[ui].type,
+                    recvs_[ui].addr, recvs_[ui].count, recvs_[ui].type);
+  }
+}
+
+CartRequest PersistentColl::start() const {
+  MPL_REQUIRE(comm_.valid(), "start on default-constructed PersistentColl");
+  CartRequest r;
+  r.done_ = false;
+  if (alg_ == Algorithm::combining) {
+    r.combining_ = true;
+    r.exec_ = sched_.start(comm_);
+    r.done_ = r.exec_.done();
+    return r;
+  }
+  // Trivial plan, non-blocking: direct delivery — post every receive and
+  // send at once; the self copies run at completion.
+  r.trivial_ = this;
+  for (std::size_t i = 0; i < sends_.size(); ++i) {
+    if (recv_rank_[i] != mpl::PROC_NULL) {
+      r.pending_.push_back(comm_.irecv(recvs_[i].addr, recvs_[i].count,
+                                       recvs_[i].type, recv_rank_[i], kCartTag));
+    }
+  }
+  for (std::size_t i = 0; i < sends_.size(); ++i) {
+    if (send_rank_[i] != mpl::PROC_NULL) {
+      comm_.isend(sends_[i].addr, sends_[i].count, sends_[i].type,
+                  send_rank_[i], kCartTag);
+    }
+  }
+  return r;
+}
+
+bool CartRequest::test() {
+  if (done_) return true;
+  if (combining_) {
+    done_ = exec_.test();
+    return done_;
+  }
+  while (!pending_.empty()) {
+    if (!pending_.front().test()) return false;
+    pending_.erase(pending_.begin());
+  }
+  for (const int i : trivial_->self_idx_) {
+    const std::size_t ui = static_cast<std::size_t>(i);
+    mpl::copy_typed(trivial_->sends_[ui].addr, trivial_->sends_[ui].count,
+                    trivial_->sends_[ui].type, trivial_->recvs_[ui].addr,
+                    trivial_->recvs_[ui].count, trivial_->recvs_[ui].type);
+  }
+  done_ = true;
+  return true;
+}
+
+void CartRequest::wait() {
+  if (done_) return;
+  if (combining_) {
+    exec_.wait();
+    done_ = true;
+    return;
+  }
+  mpl::wait_all(pending_);
+  pending_.clear();
+  test();  // runs the self copies
+}
+
+const Schedule& PersistentColl::schedule() const {
+  MPL_REQUIRE(alg_ == Algorithm::combining,
+              "schedule(): only available for the combining algorithm");
+  return sched_;
+}
+
+// -- descriptor assembly ------------------------------------------------------
+
+namespace {
+
+std::vector<SendBlock> sends_regular(const void* sendbuf, int count,
+                                     const mpl::Datatype& type, int t,
+                                     bool replicate) {
+  std::vector<SendBlock> v(static_cast<std::size_t>(t));
+  for (int i = 0; i < t; ++i) {
+    const std::ptrdiff_t disp =
+        replicate ? 0 : static_cast<std::ptrdiff_t>(i) * count * type.extent();
+    v[static_cast<std::size_t>(i)] = {at_bytes(sendbuf, disp), count, type};
+  }
+  return v;
+}
+
+std::vector<RecvBlock> recvs_regular(void* recvbuf, int count,
+                                     const mpl::Datatype& type, int t) {
+  std::vector<RecvBlock> v(static_cast<std::size_t>(t));
+  for (int i = 0; i < t; ++i) {
+    v[static_cast<std::size_t>(i)] = {
+        at_bytes(recvbuf, static_cast<std::ptrdiff_t>(i) * count * type.extent()),
+        count, type};
+  }
+  return v;
+}
+
+std::vector<SendBlock> sends_v(const void* sendbuf, std::span<const int> counts,
+                               std::span<const int> displs,
+                               const mpl::Datatype& type) {
+  std::vector<SendBlock> v(counts.size());
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    v[i] = {at_bytes(sendbuf, displs[i] * type.extent()), counts[i], type};
+  }
+  return v;
+}
+
+std::vector<RecvBlock> recvs_v(void* recvbuf, std::span<const int> counts,
+                               std::span<const int> displs,
+                               const mpl::Datatype& type) {
+  std::vector<RecvBlock> v(counts.size());
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    v[i] = {at_bytes(recvbuf, displs[i] * type.extent()), counts[i], type};
+  }
+  return v;
+}
+
+std::vector<SendBlock> sends_w(const void* sendbuf, std::span<const int> counts,
+                               std::span<const std::ptrdiff_t> displs,
+                               std::span<const mpl::Datatype> types) {
+  MPL_REQUIRE(counts.size() == displs.size() && counts.size() == types.size(),
+              "alltoallw: argument arity mismatch");
+  std::vector<SendBlock> v(counts.size());
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    v[i] = {at_bytes(sendbuf, displs[i]), counts[i], types[i]};
+  }
+  return v;
+}
+
+std::vector<RecvBlock> recvs_w(void* recvbuf, std::span<const int> counts,
+                               std::span<const std::ptrdiff_t> displs,
+                               std::span<const mpl::Datatype> types) {
+  MPL_REQUIRE(counts.size() == displs.size() && counts.size() == types.size(),
+              "w-variant: argument arity mismatch");
+  std::vector<RecvBlock> v(counts.size());
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    v[i] = {at_bytes(recvbuf, displs[i]), counts[i], types[i]};
+  }
+  return v;
+}
+
+}  // namespace
+
+// -- alltoall family ----------------------------------------------------------
+
+PersistentColl alltoall_init(const void* sendbuf, int sendcount,
+                             const mpl::Datatype& sendtype, void* recvbuf,
+                             int recvcount, const mpl::Datatype& recvtype,
+                             const CartNeighborComm& cc, Algorithm alg) {
+  const int t = cc.neighbor_count();
+  return CollBuilder::make(
+      cc, sends_regular(sendbuf, sendcount, sendtype, t, false),
+      recvs_regular(recvbuf, recvcount, recvtype, t), false,
+      cc.allgather_order(), alg);
+}
+
+PersistentColl alltoallv_init(const void* sendbuf,
+                              std::span<const int> sendcounts,
+                              std::span<const int> sdispls,
+                              const mpl::Datatype& sendtype, void* recvbuf,
+                              std::span<const int> recvcounts,
+                              std::span<const int> rdispls,
+                              const mpl::Datatype& recvtype,
+                              const CartNeighborComm& cc, Algorithm alg) {
+  return CollBuilder::make(cc, sends_v(sendbuf, sendcounts, sdispls, sendtype),
+                           recvs_v(recvbuf, recvcounts, rdispls, recvtype),
+                           false, cc.allgather_order(), alg);
+}
+
+PersistentColl alltoallw_init(const void* sendbuf,
+                              std::span<const int> sendcounts,
+                              std::span<const std::ptrdiff_t> sdispls_bytes,
+                              std::span<const mpl::Datatype> sendtypes,
+                              void* recvbuf, std::span<const int> recvcounts,
+                              std::span<const std::ptrdiff_t> rdispls_bytes,
+                              std::span<const mpl::Datatype> recvtypes,
+                              const CartNeighborComm& cc, Algorithm alg) {
+  return CollBuilder::make(
+      cc, sends_w(sendbuf, sendcounts, sdispls_bytes, sendtypes),
+      recvs_w(recvbuf, recvcounts, rdispls_bytes, recvtypes), false,
+      cc.allgather_order(), alg);
+}
+
+void alltoall(const void* sendbuf, int sendcount, const mpl::Datatype& sendtype,
+              void* recvbuf, int recvcount, const mpl::Datatype& recvtype,
+              const CartNeighborComm& cc, Algorithm alg) {
+  alltoall_init(sendbuf, sendcount, sendtype, recvbuf, recvcount, recvtype, cc,
+                alg)
+      .execute();
+}
+
+void alltoallv(const void* sendbuf, std::span<const int> sendcounts,
+               std::span<const int> sdispls, const mpl::Datatype& sendtype,
+               void* recvbuf, std::span<const int> recvcounts,
+               std::span<const int> rdispls, const mpl::Datatype& recvtype,
+               const CartNeighborComm& cc, Algorithm alg) {
+  alltoallv_init(sendbuf, sendcounts, sdispls, sendtype, recvbuf, recvcounts,
+                 rdispls, recvtype, cc, alg)
+      .execute();
+}
+
+void alltoallw(const void* sendbuf, std::span<const int> sendcounts,
+               std::span<const std::ptrdiff_t> sdispls_bytes,
+               std::span<const mpl::Datatype> sendtypes, void* recvbuf,
+               std::span<const int> recvcounts,
+               std::span<const std::ptrdiff_t> rdispls_bytes,
+               std::span<const mpl::Datatype> recvtypes,
+               const CartNeighborComm& cc, Algorithm alg) {
+  alltoallw_init(sendbuf, sendcounts, sdispls_bytes, sendtypes, recvbuf,
+                 recvcounts, rdispls_bytes, recvtypes, cc, alg)
+      .execute();
+}
+
+// -- allgather family ---------------------------------------------------------
+
+PersistentColl allgather_init(const void* sendbuf, int sendcount,
+                              const mpl::Datatype& sendtype, void* recvbuf,
+                              int recvcount, const mpl::Datatype& recvtype,
+                              const CartNeighborComm& cc, Algorithm alg) {
+  const int t = cc.neighbor_count();
+  return CollBuilder::make(
+      cc, sends_regular(sendbuf, sendcount, sendtype, t, true),
+      recvs_regular(recvbuf, recvcount, recvtype, t), true,
+      cc.allgather_order(), alg);
+}
+
+PersistentColl allgatherv_init(const void* sendbuf, int sendcount,
+                               const mpl::Datatype& sendtype, void* recvbuf,
+                               std::span<const int> recvcounts,
+                               std::span<const int> displs,
+                               const mpl::Datatype& recvtype,
+                               const CartNeighborComm& cc, Algorithm alg) {
+  const int t = cc.neighbor_count();
+  std::vector<SendBlock> sends(static_cast<std::size_t>(t),
+                               SendBlock{sendbuf, sendcount, sendtype});
+  return CollBuilder::make(cc, std::move(sends),
+                           recvs_v(recvbuf, recvcounts, displs, recvtype), true,
+                           cc.allgather_order(), alg);
+}
+
+PersistentColl allgatherw_init(const void* sendbuf, int sendcount,
+                               const mpl::Datatype& sendtype, void* recvbuf,
+                               std::span<const int> recvcounts,
+                               std::span<const std::ptrdiff_t> rdispls_bytes,
+                               std::span<const mpl::Datatype> recvtypes,
+                               const CartNeighborComm& cc, Algorithm alg) {
+  const int t = cc.neighbor_count();
+  std::vector<SendBlock> sends(static_cast<std::size_t>(t),
+                               SendBlock{sendbuf, sendcount, sendtype});
+  return CollBuilder::make(
+      cc, std::move(sends),
+      recvs_w(recvbuf, recvcounts, rdispls_bytes, recvtypes), true,
+      cc.allgather_order(), alg);
+}
+
+void allgather(const void* sendbuf, int sendcount,
+               const mpl::Datatype& sendtype, void* recvbuf, int recvcount,
+               const mpl::Datatype& recvtype, const CartNeighborComm& cc,
+               Algorithm alg) {
+  allgather_init(sendbuf, sendcount, sendtype, recvbuf, recvcount, recvtype, cc,
+                 alg)
+      .execute();
+}
+
+void allgatherv(const void* sendbuf, int sendcount,
+                const mpl::Datatype& sendtype, void* recvbuf,
+                std::span<const int> recvcounts, std::span<const int> displs,
+                const mpl::Datatype& recvtype, const CartNeighborComm& cc,
+                Algorithm alg) {
+  allgatherv_init(sendbuf, sendcount, sendtype, recvbuf, recvcounts, displs,
+                  recvtype, cc, alg)
+      .execute();
+}
+
+void allgatherw(const void* sendbuf, int sendcount,
+                const mpl::Datatype& sendtype, void* recvbuf,
+                std::span<const int> recvcounts,
+                std::span<const std::ptrdiff_t> rdispls_bytes,
+                std::span<const mpl::Datatype> recvtypes,
+                const CartNeighborComm& cc, Algorithm alg) {
+  allgatherw_init(sendbuf, sendcount, sendtype, recvbuf, recvcounts,
+                  rdispls_bytes, recvtypes, cc, alg)
+      .execute();
+}
+
+}  // namespace cartcomm

@@ -1,0 +1,187 @@
+// The Cartesian Collective Communication operations (Section 2): alltoall
+// and allgather in regular, v (per-neighbor counts/displacements) and w
+// (per-neighbor byte displacements and datatypes) variants, each with a
+// persistent *_init form that precomputes the communication schedule for
+// repeated execution.
+//
+// Signatures follow the MPI neighborhood collectives: send/receive buffers
+// hold one block per neighbor, in neighborhood (target/source) order.
+// Block i of the send buffer goes to the target at relative offset N[i];
+// block i of the receive buffer is filled from the source at -N[i].
+//
+// All processes must call collectively with block sizes that are identical
+// per neighbor index across processes (automatically true for the regular
+// variants; a documented requirement for v/w — the same discipline the
+// paper's isomorphic neighborhoods impose).
+#pragma once
+
+#include <span>
+
+#include "cartcomm/blocks.hpp"
+#include "cartcomm/build_schedule.hpp"
+#include "cartcomm/cart_comm.hpp"
+#include "cartcomm/schedule.hpp"
+
+namespace cartcomm {
+
+class PersistentColl;
+
+/// Handle for one in-flight non-blocking execution of a persistent
+/// Cartesian collective (the non-blocking persistent mode the paper
+/// anticipates, Section 2). Progress happens inside test()/wait().
+class CartRequest {
+ public:
+  CartRequest() = default;
+
+  [[nodiscard]] bool done() const noexcept { return done_; }
+  /// Make progress; returns true once the operation completed locally.
+  bool test();
+  /// Block until completion.
+  void wait();
+
+ private:
+  friend class PersistentColl;
+  Schedule::Execution exec_;            // combining path
+  const PersistentColl* trivial_ = nullptr;  // trivial path
+  std::vector<mpl::Request> pending_;
+  bool combining_ = false;
+  bool done_ = true;
+};
+
+/// Precomputed collective (the *_init handles of Section 2). Executing is
+/// blocking and collective; the schedule (and its temp buffer) is reused
+/// across executions.
+class PersistentColl {
+ public:
+  PersistentColl() = default;
+
+  /// Run the operation once (collective, blocking).
+  void execute() const;
+
+  /// Begin a non-blocking execution; complete it with CartRequest::wait().
+  /// At most one execution of a given operation may be in flight (the
+  /// schedule's buffers and tag are shared). The trivial plan posts all
+  /// rounds eagerly (direct delivery); the combining plan advances its
+  /// phases inside test()/wait().
+  [[nodiscard]] CartRequest start() const;
+
+  /// The algorithm this operation was bound to (automatic is resolved at
+  /// init time).
+  [[nodiscard]] Algorithm algorithm() const noexcept { return alg_; }
+
+  /// The message-combining schedule (valid only when algorithm() ==
+  /// Algorithm::combining); used by tests and benchmarks for introspection.
+  [[nodiscard]] const Schedule& schedule() const;
+
+ private:
+  friend class CollBuilder;
+  friend class CartRequest;
+
+  mpl::Comm comm_;
+  Algorithm alg_ = Algorithm::trivial;
+  bool allgather_ = false;
+  Schedule sched_;  // combining only
+  // Trivial plan: per-neighbor blocks and partner ranks (Listing 4).
+  std::vector<SendBlock> sends_;
+  std::vector<RecvBlock> recvs_;
+  std::vector<int> send_rank_;
+  std::vector<int> recv_rank_;
+  std::vector<int> self_idx_;  // zero-vector neighbors (local copies)
+};
+
+// -- alltoall family ----------------------------------------------------------
+
+void alltoall(const void* sendbuf, int sendcount, const mpl::Datatype& sendtype,
+              void* recvbuf, int recvcount, const mpl::Datatype& recvtype,
+              const CartNeighborComm& cc,
+              Algorithm alg = Algorithm::automatic);
+
+void alltoallv(const void* sendbuf, std::span<const int> sendcounts,
+               std::span<const int> sdispls, const mpl::Datatype& sendtype,
+               void* recvbuf, std::span<const int> recvcounts,
+               std::span<const int> rdispls, const mpl::Datatype& recvtype,
+               const CartNeighborComm& cc,
+               Algorithm alg = Algorithm::automatic);
+
+void alltoallw(const void* sendbuf, std::span<const int> sendcounts,
+               std::span<const std::ptrdiff_t> sdispls_bytes,
+               std::span<const mpl::Datatype> sendtypes, void* recvbuf,
+               std::span<const int> recvcounts,
+               std::span<const std::ptrdiff_t> rdispls_bytes,
+               std::span<const mpl::Datatype> recvtypes,
+               const CartNeighborComm& cc,
+               Algorithm alg = Algorithm::automatic);
+
+PersistentColl alltoall_init(const void* sendbuf, int sendcount,
+                             const mpl::Datatype& sendtype, void* recvbuf,
+                             int recvcount, const mpl::Datatype& recvtype,
+                             const CartNeighborComm& cc,
+                             Algorithm alg = Algorithm::automatic);
+
+PersistentColl alltoallv_init(const void* sendbuf,
+                              std::span<const int> sendcounts,
+                              std::span<const int> sdispls,
+                              const mpl::Datatype& sendtype, void* recvbuf,
+                              std::span<const int> recvcounts,
+                              std::span<const int> rdispls,
+                              const mpl::Datatype& recvtype,
+                              const CartNeighborComm& cc,
+                              Algorithm alg = Algorithm::automatic);
+
+PersistentColl alltoallw_init(const void* sendbuf,
+                              std::span<const int> sendcounts,
+                              std::span<const std::ptrdiff_t> sdispls_bytes,
+                              std::span<const mpl::Datatype> sendtypes,
+                              void* recvbuf, std::span<const int> recvcounts,
+                              std::span<const std::ptrdiff_t> rdispls_bytes,
+                              std::span<const mpl::Datatype> recvtypes,
+                              const CartNeighborComm& cc,
+                              Algorithm alg = Algorithm::automatic);
+
+// -- allgather family ---------------------------------------------------------
+
+void allgather(const void* sendbuf, int sendcount,
+               const mpl::Datatype& sendtype, void* recvbuf, int recvcount,
+               const mpl::Datatype& recvtype, const CartNeighborComm& cc,
+               Algorithm alg = Algorithm::automatic);
+
+void allgatherv(const void* sendbuf, int sendcount,
+                const mpl::Datatype& sendtype, void* recvbuf,
+                std::span<const int> recvcounts, std::span<const int> displs,
+                const mpl::Datatype& recvtype, const CartNeighborComm& cc,
+                Algorithm alg = Algorithm::automatic);
+
+/// Allgather with per-source datatypes — the operation the paper adds
+/// beyond MPI (Section 2.1): every source block has the send block's size
+/// but its own layout and byte displacement in the receive buffer.
+void allgatherw(const void* sendbuf, int sendcount,
+                const mpl::Datatype& sendtype, void* recvbuf,
+                std::span<const int> recvcounts,
+                std::span<const std::ptrdiff_t> rdispls_bytes,
+                std::span<const mpl::Datatype> recvtypes,
+                const CartNeighborComm& cc,
+                Algorithm alg = Algorithm::automatic);
+
+PersistentColl allgather_init(const void* sendbuf, int sendcount,
+                              const mpl::Datatype& sendtype, void* recvbuf,
+                              int recvcount, const mpl::Datatype& recvtype,
+                              const CartNeighborComm& cc,
+                              Algorithm alg = Algorithm::automatic);
+
+PersistentColl allgatherv_init(const void* sendbuf, int sendcount,
+                               const mpl::Datatype& sendtype, void* recvbuf,
+                               std::span<const int> recvcounts,
+                               std::span<const int> displs,
+                               const mpl::Datatype& recvtype,
+                               const CartNeighborComm& cc,
+                               Algorithm alg = Algorithm::automatic);
+
+PersistentColl allgatherw_init(const void* sendbuf, int sendcount,
+                               const mpl::Datatype& sendtype, void* recvbuf,
+                               std::span<const int> recvcounts,
+                               std::span<const std::ptrdiff_t> rdispls_bytes,
+                               std::span<const mpl::Datatype> recvtypes,
+                               const CartNeighborComm& cc,
+                               Algorithm alg = Algorithm::automatic);
+
+}  // namespace cartcomm

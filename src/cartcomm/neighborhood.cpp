@@ -1,0 +1,131 @@
+#include "cartcomm/neighborhood.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <set>
+
+#include "mpl/error.hpp"
+
+namespace cartcomm {
+
+Neighborhood::Neighborhood(int ndims, std::vector<int> flat)
+    : d_(ndims), flat_(std::move(flat)) {
+  MPL_REQUIRE(ndims >= 1, "Neighborhood: need at least one dimension");
+  MPL_REQUIRE(flat_.size() % static_cast<std::size_t>(ndims) == 0,
+              "Neighborhood: flattened offset list length must be a multiple "
+              "of the dimension");
+}
+
+Neighborhood Neighborhood::stencil(int d, int n, int f) {
+  MPL_REQUIRE(d >= 1 && n >= 1, "stencil: need d >= 1, n >= 1");
+  std::vector<int> flat;
+  long long t = 1;
+  for (int k = 0; k < d; ++k) t *= n;
+  flat.reserve(static_cast<std::size_t>(t) * static_cast<std::size_t>(d));
+  std::vector<int> v(static_cast<std::size_t>(d), 0);
+  // Odometer enumeration of the full cross product {f..f+n-1}^d.
+  for (long long i = 0; i < t; ++i) {
+    long long x = i;
+    for (int k = d - 1; k >= 0; --k) {
+      v[static_cast<std::size_t>(k)] = f + static_cast<int>(x % n);
+      x /= n;
+    }
+    flat.insert(flat.end(), v.begin(), v.end());
+  }
+  return Neighborhood(d, std::move(flat));
+}
+
+Neighborhood Neighborhood::moore(int d, int radius) {
+  return stencil(d, 2 * radius + 1, -radius);
+}
+
+Neighborhood Neighborhood::von_neumann(int d, bool include_self) {
+  std::vector<int> flat;
+  if (include_self) flat.insert(flat.end(), static_cast<std::size_t>(d), 0);
+  for (int k = 0; k < d; ++k) {
+    for (int s : {-1, +1}) {
+      std::vector<int> v(static_cast<std::size_t>(d), 0);
+      v[static_cast<std::size_t>(k)] = s;
+      flat.insert(flat.end(), v.begin(), v.end());
+    }
+  }
+  return Neighborhood(d, std::move(flat));
+}
+
+int Neighborhood::nonzeros(int i) const {
+  int z = 0;
+  for (int c : offset(i)) z += (c != 0);
+  return z;
+}
+
+int Neighborhood::distinct_nonzero(int k) const {
+  std::set<int> values;
+  for (int i = 0; i < count(); ++i) {
+    const int c = coord(i, k);
+    if (c != 0) values.insert(c);
+  }
+  return static_cast<int>(values.size());
+}
+
+std::vector<int> Neighborhood::distinct_nonzero_per_dim() const {
+  std::vector<int> ck(static_cast<std::size_t>(d_));
+  for (int k = 0; k < d_; ++k) ck[static_cast<std::size_t>(k)] = distinct_nonzero(k);
+  return ck;
+}
+
+int Neighborhood::combining_rounds() const {
+  int c = 0;
+  for (int k = 0; k < d_; ++k) c += distinct_nonzero(k);
+  return c;
+}
+
+int Neighborhood::trivial_rounds() const {
+  int r = 0;
+  for (int i = 0; i < count(); ++i) r += (nonzeros(i) > 0);
+  return r;
+}
+
+bool Neighborhood::contains_zero_vector() const {
+  for (int i = 0; i < count(); ++i) {
+    if (nonzeros(i) == 0) return true;
+  }
+  return false;
+}
+
+long long Neighborhood::alltoall_volume() const {
+  long long v = 0;
+  for (int i = 0; i < count(); ++i) v += nonzeros(i);
+  return v;
+}
+
+std::vector<int> Neighborhood::order_by_dim(int k) const {
+  const int t = count();
+  std::vector<int> order(static_cast<std::size_t>(t));
+  if (t == 0) return order;
+
+  int lo = std::numeric_limits<int>::max();
+  int hi = std::numeric_limits<int>::min();
+  for (int i = 0; i < t; ++i) {
+    lo = std::min(lo, coord(i, k));
+    hi = std::max(hi, coord(i, k));
+  }
+  const long long range = static_cast<long long>(hi) - lo + 1;
+
+  if (range <= 4 * static_cast<long long>(t) + 64) {
+    // Counting sort (the "bucket sort" of Algorithms 1 and 2).
+    std::vector<int> cnt(static_cast<std::size_t>(range) + 1, 0);
+    for (int i = 0; i < t; ++i) ++cnt[static_cast<std::size_t>(coord(i, k) - lo) + 1];
+    for (std::size_t b = 1; b < cnt.size(); ++b) cnt[b] += cnt[b - 1];
+    for (int i = 0; i < t; ++i) {
+      order[static_cast<std::size_t>(cnt[static_cast<std::size_t>(coord(i, k) - lo)]++)] = i;
+    }
+  } else {
+    // Degenerate coordinate ranges: fall back to a comparison sort.
+    for (int i = 0; i < t; ++i) order[static_cast<std::size_t>(i)] = i;
+    std::stable_sort(order.begin(), order.end(),
+                     [&](int a, int b) { return coord(a, k) < coord(b, k); });
+  }
+  return order;
+}
+
+}  // namespace cartcomm

@@ -1,0 +1,241 @@
+#include "cartcomm/schedule.hpp"
+
+#include <sstream>
+
+#include "mpl/collectives.hpp"
+#include "mpl/error.hpp"
+#include "mpl/proc.hpp"
+#include "mpl/request.hpp"
+
+namespace cartcomm {
+
+void Schedule::execute(const mpl::Comm& comm) const {
+  // Listing 5: within each phase all rounds are independent — launch them
+  // with non-blocking operations and wait for the whole phase.
+  std::size_t i = 0;
+  std::vector<mpl::Request> reqs;
+  for (const int nrounds : phase_rounds_) {
+    reqs.clear();
+    reqs.reserve(static_cast<std::size_t>(nrounds));
+    for (int j = 0; j < nrounds; ++j, ++i) {
+      const ScheduleRound& r = rounds_[i];
+      if (r.recvrank != mpl::PROC_NULL && r.recvtype.valid() &&
+          r.recvtype.size() > 0) {
+        reqs.push_back(
+            comm.irecv(mpl::BOTTOM, 1, r.recvtype, r.recvrank, kCartTag));
+      }
+      if (r.sendrank != mpl::PROC_NULL && r.sendtype.valid() &&
+          r.sendtype.size() > 0) {
+        comm.isend(mpl::BOTTOM, 1, r.sendtype, r.sendrank, kCartTag);
+      }
+    }
+    mpl::wait_all(reqs);
+  }
+
+  // Final non-communication phase: local block copies.
+  for (const ScheduleCopy& c : copies_) {
+    mpl::copy_typed(mpl::BOTTOM, 1, c.src, mpl::BOTTOM, 1, c.dst);
+    if (comm.model_enabled()) comm.proc().clock().local_copy(c.src.size());
+  }
+}
+
+Schedule::Execution Schedule::start(const mpl::Comm& comm) const {
+  return Execution(this, comm);
+}
+
+Schedule::Execution::Execution(const Schedule* s, const mpl::Comm& comm)
+    : sched_(s), comm_(comm), done_(false) {
+  post_phase();  // may already complete everything (no communication)
+}
+
+void Schedule::Execution::post_phase() {
+  // Post phases until one has pending receives (or all work is done).
+  while (pending_.empty()) {
+    if (phase_ >= sched_->phase_rounds_.size()) {
+      finish_copies();
+      return;
+    }
+    const int nrounds = sched_->phase_rounds_[phase_];
+    for (int j = 0; j < nrounds; ++j) {
+      const ScheduleRound& r = sched_->rounds_[round_base_ + static_cast<std::size_t>(j)];
+      if (r.recvrank != mpl::PROC_NULL && r.recvtype.valid() &&
+          r.recvtype.size() > 0) {
+        pending_.push_back(
+            comm_.irecv(mpl::BOTTOM, 1, r.recvtype, r.recvrank, kCartTag));
+      }
+      if (r.sendrank != mpl::PROC_NULL && r.sendtype.valid() &&
+          r.sendtype.size() > 0) {
+        comm_.isend(mpl::BOTTOM, 1, r.sendtype, r.sendrank, kCartTag);
+      }
+    }
+    round_base_ += static_cast<std::size_t>(nrounds);
+    ++phase_;
+  }
+}
+
+void Schedule::Execution::finish_copies() {
+  for (const ScheduleCopy& c : sched_->copies_) {
+    mpl::copy_typed(mpl::BOTTOM, 1, c.src, mpl::BOTTOM, 1, c.dst);
+    if (comm_.model_enabled()) comm_.proc().clock().local_copy(c.src.size());
+  }
+  done_ = true;
+}
+
+bool Schedule::Execution::test() {
+  if (done_) return true;
+  // Complete any finished receives of the current phase (in order, so the
+  // virtual-clock accounting stays deterministic).
+  while (!pending_.empty()) {
+    if (!pending_.front().test()) return false;
+    pending_.erase(pending_.begin());
+  }
+  post_phase();
+  return done_;
+}
+
+void Schedule::Execution::wait() {
+  while (!done_) {
+    mpl::wait_all(pending_);
+    pending_.clear();
+    post_phase();
+  }
+}
+
+long long Schedule::send_bytes() const {
+  long long bytes = 0;
+  for (const ScheduleRound& r : rounds_) {
+    if (r.sendtype.valid()) bytes += static_cast<long long>(r.sendtype.size());
+  }
+  return bytes;
+}
+
+std::string Schedule::describe() const {
+  std::ostringstream os;
+  os << "schedule: " << phases() << " phases, " << rounds() << " rounds, "
+     << send_blocks_ << " blocks sent, " << copies_.size() << " local copies, "
+     << temp_bytes() << " temp bytes\n";
+  std::size_t i = 0;
+  for (std::size_t ph = 0; ph < phase_rounds_.size(); ++ph) {
+    os << "  phase " << ph << " (" << phase_rounds_[ph] << " rounds)\n";
+    for (int j = 0; j < phase_rounds_[ph]; ++j, ++i) {
+      const ScheduleRound& r = rounds_[i];
+      os << "    round " << j << ": ";
+      if (!r.offset.empty()) {
+        os << "offset (";
+        for (std::size_t k = 0; k < r.offset.size(); ++k) {
+          os << (k ? "," : "") << r.offset[k];
+        }
+        os << ") ";
+      }
+      os << "send->" << r.sendrank << " ["
+         << (r.sendtype.valid() ? r.sendtype.block_count() : 0) << " blk, "
+         << (r.sendtype.valid() ? r.sendtype.size() : 0) << " B]  recv<-"
+         << r.recvrank << " ["
+         << (r.recvtype.valid() ? r.recvtype.block_count() : 0) << " blk, "
+         << (r.recvtype.valid() ? r.recvtype.size() : 0) << " B]\n";
+    }
+  }
+  return os.str();
+}
+
+std::size_t Schedule::temp_bytes() const noexcept {
+  std::size_t n = 0;
+  for (const auto& pool : temp_pools_) n += pool.size();
+  return n;
+}
+
+namespace {
+
+// Append the blocks of absolute datatype `t` to the builder (absolute
+// types are relative to BOTTOM, so a zero base displacement re-uses them).
+void append_absolute(mpl::TypeBuilder& tb, const mpl::Datatype& t) {
+  if (t.valid() && t.size() > 0) tb.append(mpl::BOTTOM, 1, t);
+}
+
+// Are two round-generating offsets congruent on the grid (same partner on
+// every process)? Periodic dimensions compare modulo the dimension size;
+// non-periodic compare exactly. This predicate is process-independent, so
+// all processes make identical coalescing decisions.
+bool congruent(const mpl::CartGrid& grid, std::span<const int> a,
+               std::span<const int> b) {
+  if (grid.ndims() == 0 || a.size() != b.size() ||
+      a.size() != static_cast<std::size_t>(grid.ndims())) {
+    return false;  // unknown provenance: never fuse
+  }
+  for (int k = 0; k < grid.ndims(); ++k) {
+    const int diff = a[static_cast<std::size_t>(k)] - b[static_cast<std::size_t>(k)];
+    if (grid.periodic(k)) {
+      if (diff % grid.dims()[static_cast<std::size_t>(k)] != 0) return false;
+    } else if (diff != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// Fuse rounds generated by congruent offsets into one send-receive round.
+// Order is preserved, so both sides of every partner pair fuse identically.
+std::vector<ScheduleRound> coalesce_phase(const mpl::CartGrid& grid,
+                                          std::vector<ScheduleRound> rounds) {
+  std::vector<ScheduleRound> out;
+  for (ScheduleRound& r : rounds) {
+    ScheduleRound* prior = nullptr;
+    for (ScheduleRound& o : out) {
+      if (congruent(grid, o.offset, r.offset)) {
+        prior = &o;
+        break;
+      }
+    }
+    if (!prior) {
+      out.push_back(std::move(r));
+      continue;
+    }
+    mpl::TypeBuilder sb, rb;
+    append_absolute(sb, prior->sendtype);
+    append_absolute(sb, r.sendtype);
+    append_absolute(rb, prior->recvtype);
+    append_absolute(rb, r.recvtype);
+    prior->sendtype = sb.build();
+    prior->recvtype = rb.build();
+  }
+  return out;
+}
+
+}  // namespace
+
+Schedule Schedule::merge(std::vector<Schedule> parts, bool coalesce) {
+  Schedule out;
+  std::size_t max_phases = 0;
+  for (const Schedule& p : parts) {
+    max_phases = std::max(max_phases, p.phase_rounds_.size());
+  }
+  // Phase-wise concatenation: rounds that were concurrent stay concurrent,
+  // and rounds of different parts with equal phase index join one phase.
+  std::vector<std::size_t> cursor(parts.size(), 0);
+  for (std::size_t ph = 0; ph < max_phases; ++ph) {
+    std::vector<ScheduleRound> phase;
+    for (std::size_t pi = 0; pi < parts.size(); ++pi) {
+      Schedule& p = parts[pi];
+      if (ph >= p.phase_rounds_.size()) continue;
+      const int k = p.phase_rounds_[ph];
+      for (int j = 0; j < k; ++j) {
+        phase.push_back(std::move(p.rounds_[cursor[pi] + static_cast<std::size_t>(j)]));
+      }
+      cursor[pi] += static_cast<std::size_t>(k);
+    }
+    if (coalesce && !parts.empty()) {
+      phase = coalesce_phase(parts.front().grid_, std::move(phase));
+    }
+    out.phase_rounds_.push_back(static_cast<int>(phase.size()));
+    for (ScheduleRound& r : phase) out.rounds_.push_back(std::move(r));
+  }
+  for (Schedule& p : parts) {
+    out.send_blocks_ += p.send_blocks_;
+    for (auto& c : p.copies_) out.copies_.push_back(std::move(c));
+    for (auto& pool : p.temp_pools_) out.temp_pools_.push_back(std::move(pool));
+  }
+  if (!parts.empty()) out.grid_ = parts.front().grid_;
+  return out;
+}
+
+}  // namespace cartcomm

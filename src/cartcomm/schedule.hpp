@@ -1,0 +1,193 @@
+// Precomputed communication schedules (Section 3).
+//
+// A Schedule is the executable form of a message-combining plan: d+1
+// phases of send-receive rounds. Each round carries the ranks of the two
+// partners and one absolute-address structured datatype per direction
+// describing all blocks grouped into that round (the paper's zero-copy
+// representation: no packing into intermediate staging buffers is ever
+// done by the executor — blocks move directly between the user buffers and
+// the schedule's in-transit slots via derived datatypes). Executing a
+// schedule is exactly Listing 5: non-blocking send/receive of all rounds
+// of a phase, then wait, phase by phase. A final non-communication phase
+// performs local copies (self blocks, duplicated allgather targets).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "mpl/comm.hpp"
+#include "mpl/datatype.hpp"
+#include "mpl/topology.hpp"
+
+namespace cartcomm {
+
+/// Reserved tag for schedule traffic (the paper's CARTTAG).
+inline constexpr int kCartTag = 7771;
+
+/// One send-receive round: exchange with fixed partners, all blocks of the
+/// round described by one datatype per direction.
+struct ScheduleRound {
+  int sendrank = mpl::PROC_NULL;
+  int recvrank = mpl::PROC_NULL;
+  mpl::Datatype sendtype;  ///< absolute (use with mpl::BOTTOM); may be empty
+  mpl::Datatype recvtype;  ///< absolute; may be empty
+  /// Relative offset generating this round (c*e_k). Used by merge() to
+  /// decide coalescing in a process-independent way: every process must
+  /// fuse the same rounds or FIFO message pairing would break at mesh
+  /// boundaries, so the decision is keyed on offsets, never on ranks.
+  std::vector<int> offset;
+};
+
+/// A local data movement (e.g. the self block): copy through absolute types.
+struct ScheduleCopy {
+  mpl::Datatype src;
+  mpl::Datatype dst;
+};
+
+/// Executable communication schedule, bound to the buffers it was built
+/// for. Owns the temporary in-transit buffer. Schedules are precomputed by
+/// the *_init operations and reused across executions (the persistent
+/// usage of Section 2), or built on the fly by the non-persistent calls.
+class Schedule {
+ public:
+  /// Run the schedule (Listing 5): all rounds of a phase concurrently with
+  /// non-blocking operations, phases in order; local copies last.
+  void execute(const mpl::Comm& comm) const;
+
+  class Execution;
+  /// Begin a non-blocking execution (posts the first phase and returns).
+  /// Progress is made inside Execution::test()/wait(), like an MPI
+  /// library's progress engine; at most one execution of a given schedule
+  /// may be in flight at a time (rounds share the schedule's tag and
+  /// buffers). This is the non-blocking/persistent mode the paper
+  /// anticipates for the MPI Forum's persistent collectives.
+  [[nodiscard]] Execution start(const mpl::Comm& comm) const;
+
+  // -- introspection (tests, benchmarks) ------------------------------------
+
+  /// Communication phases (excluding the local-copy phase).
+  [[nodiscard]] int phases() const noexcept {
+    return static_cast<int>(phase_rounds_.size());
+  }
+  /// Total send-receive rounds C.
+  [[nodiscard]] int rounds() const noexcept {
+    return static_cast<int>(rounds_.size());
+  }
+  [[nodiscard]] std::span<const int> phase_rounds() const noexcept {
+    return phase_rounds_;
+  }
+  [[nodiscard]] std::span<const ScheduleRound> round_list() const noexcept {
+    return rounds_;
+  }
+  /// Number of block transmissions this process performs (the per-process
+  /// communication volume V of Propositions 3.2/3.3, when counted in blocks).
+  [[nodiscard]] long long send_block_count() const noexcept {
+    return send_blocks_;
+  }
+  /// Bytes this process sends over all rounds (V*m for uniform blocks).
+  [[nodiscard]] long long send_bytes() const;
+  /// Number of local copies in the final phase.
+  [[nodiscard]] int copy_count() const noexcept {
+    return static_cast<int>(copies_.size());
+  }
+  [[nodiscard]] std::size_t temp_bytes() const noexcept;
+
+  /// Human-readable dump of the schedule structure (phases, rounds,
+  /// partner ranks, block counts and bytes per direction) for debugging
+  /// and the schedule_explorer example.
+  [[nodiscard]] std::string describe() const;
+
+  /// Concatenate several schedules phase-wise into one (rounds of equal
+  /// phase index run concurrently) — the schedule-combination facility
+  /// discussed in Section 3.4 for overlap-avoiding halo exchanges. With
+  /// `coalesce` (the default), rounds of the same phase addressing the
+  /// same partner pair are fused into a single send-receive round by
+  /// concatenating their datatypes, so combining sub-schedules does not
+  /// increase the number of messages.
+  static Schedule merge(std::vector<Schedule> parts, bool coalesce = true);
+
+ private:
+  friend class ScheduleBuilder;
+
+  std::vector<ScheduleRound> rounds_;
+  std::vector<int> phase_rounds_;   // rounds per communication phase
+  std::vector<ScheduleCopy> copies_;
+  mpl::CartGrid grid_;              // for offset congruence in merge()
+  // In-transit parking slots. Datatypes reference these buffers by absolute
+  // address, so pools are heap-allocated once and never reallocated; merge()
+  // adopts the pools of its parts to keep those addresses alive.
+  std::vector<std::vector<std::byte>> temp_pools_;
+  long long send_blocks_ = 0;
+};
+
+/// In-flight non-blocking execution of a Schedule. Phases advance inside
+/// test()/wait(); destruction of an incomplete execution is an error
+/// caught by assertion in debug use (wait() must be called).
+class Schedule::Execution {
+ public:
+  Execution() = default;
+
+  /// True once every phase and the local-copy phase have completed.
+  [[nodiscard]] bool done() const noexcept { return done_; }
+
+  /// Make progress: complete finished rounds, post the next phase when the
+  /// current one drains. Returns done().
+  bool test();
+
+  /// Drive the execution to completion (blocking).
+  void wait();
+
+ private:
+  friend class Schedule;
+  Execution(const Schedule* s, const mpl::Comm& comm);
+  void post_phase();
+  void finish_copies();
+
+  const Schedule* sched_ = nullptr;
+  mpl::Comm comm_;
+  std::size_t phase_ = 0;       // next phase to post
+  std::size_t round_base_ = 0;  // first round index of that phase
+  std::vector<mpl::Request> pending_;
+  bool done_ = true;
+};
+
+/// Incremental builder used by the alltoall/allgather schedule algorithms.
+class ScheduleBuilder {
+ public:
+  void set_grid(const mpl::CartGrid& grid) { s_.grid_ = grid; }
+
+  /// Allocate an in-transit buffer; must be called before any round that
+  /// references its slots (addresses become part of the datatypes).
+  std::byte* allocate_temp(std::size_t bytes) {
+    s_.temp_pools_.emplace_back(bytes, std::byte{0});
+    return s_.temp_pools_.back().data();
+  }
+
+  void add_round(ScheduleRound r, long long blocks_sent) {
+    s_.rounds_.push_back(std::move(r));
+    s_.send_blocks_ += blocks_sent;
+    ++open_phase_rounds_;
+  }
+
+  void end_phase() {
+    s_.phase_rounds_.push_back(open_phase_rounds_);
+    open_phase_rounds_ = 0;
+  }
+
+  void add_copy(mpl::Datatype src, mpl::Datatype dst) {
+    s_.copies_.push_back({std::move(src), std::move(dst)});
+  }
+
+  Schedule finish() {
+    if (open_phase_rounds_ != 0) end_phase();
+    return std::move(s_);
+  }
+
+ private:
+  Schedule s_;
+  int open_phase_rounds_ = 0;
+};
+
+}  // namespace cartcomm

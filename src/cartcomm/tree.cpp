@@ -1,0 +1,76 @@
+#include "cartcomm/tree.hpp"
+
+#include <algorithm>
+
+#include "mpl/error.hpp"
+
+namespace cartcomm::detail {
+
+int AllgatherTree::zero_child(std::size_t level, int parent) const {
+  const std::vector<TreeNode>& next = levels[level + 1];
+  for (std::size_t c = 0; c < next.size(); ++c) {
+    if (next[c].parent == parent && next[c].coordinate == 0) {
+      return static_cast<int>(c);
+    }
+  }
+  return -1;
+}
+
+AllgatherTree build_tree(const Neighborhood& nb, std::span<const int> perm) {
+  const int d = nb.ndims();
+  MPL_REQUIRE(perm.size() == static_cast<std::size_t>(d),
+              "build_tree: permutation arity mismatch");
+
+  AllgatherTree t;
+  t.perm.assign(perm.begin(), perm.end());
+  t.levels.emplace_back();
+  {
+    TreeNode root;
+    root.members.resize(static_cast<std::size_t>(nb.count()));
+    for (int i = 0; i < nb.count(); ++i) root.members[static_cast<std::size_t>(i)] = i;
+    root.path.assign(static_cast<std::size_t>(d), 0);
+    t.levels.back().push_back(std::move(root));
+  }
+  t.edges.resize(static_cast<std::size_t>(d));
+
+  for (std::size_t level = 0; level < perm.size(); ++level) {
+    const int k = perm[level];
+    t.levels.emplace_back();
+    std::vector<TreeNode>& cur = t.levels[level];
+    std::vector<TreeNode>& nxt = t.levels[level + 1];
+    for (std::size_t u = 0; u < cur.size(); ++u) {
+      std::vector<int>& mem = cur[u].members;
+      std::stable_sort(mem.begin(), mem.end(), [&](int a, int b) {
+        return nb.coord(a, k) < nb.coord(b, k);
+      });
+      std::size_t s = 0;
+      while (s < mem.size()) {
+        const int c = nb.coord(mem[s], k);
+        std::size_t e = s;
+        while (e < mem.size() && nb.coord(mem[e], k) == c) ++e;
+        TreeNode child;
+        child.members.assign(mem.begin() + static_cast<std::ptrdiff_t>(s),
+                             mem.begin() + static_cast<std::ptrdiff_t>(e));
+        child.path = cur[u].path;
+        child.path[static_cast<std::size_t>(k)] += c;
+        child.parent = static_cast<int>(u);
+        child.coordinate = c;
+        if (c != 0) {
+          t.edges[level].push_back(
+              {static_cast<int>(u), static_cast<int>(nxt.size()), c});
+        }
+        nxt.push_back(std::move(child));
+        s = e;
+      }
+    }
+    // One round per distinct coordinate value: sort edges by value,
+    // stably, so every process assembles identical rounds.
+    std::stable_sort(t.edges[level].begin(), t.edges[level].end(),
+                     [](const TreeEdge& a, const TreeEdge& b) {
+                       return a.coordinate < b.coordinate;
+                     });
+  }
+  return t;
+}
+
+}  // namespace cartcomm::detail

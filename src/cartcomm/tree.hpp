@@ -1,0 +1,51 @@
+// The allgather routing tree of Algorithm 2, factored out so that both the
+// allgather schedule builder and the message-combining Cartesian reduction
+// (which runs the tree in reverse) share one construction.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "cartcomm/neighborhood.hpp"
+
+namespace cartcomm::detail {
+
+struct TreeNode {
+  std::vector<int> members;  ///< neighbor indices sharing this prefix
+  std::vector<int> path;     ///< accumulated offset (full arity)
+  int parent = -1;           ///< index in the previous level (-1 for root)
+  int coordinate = 0;        ///< k-th coordinate of the edge from the parent
+};
+
+/// A communicated (non-zero coordinate) edge between consecutive levels.
+struct TreeEdge {
+  int parent;      ///< node index in levels[level]
+  int child;       ///< node index in levels[level + 1]
+  int coordinate;  ///< the non-zero k-th coordinate value
+};
+
+struct AllgatherTree {
+  /// levels[0] holds the root; levels[l+1] the nodes after processing
+  /// dimension perm[l]. Members within each node are stably sorted by the
+  /// processed coordinate, identically on every process.
+  std::vector<std::vector<TreeNode>> levels;
+  /// edges[l]: communicated edges between levels l and l+1, stably sorted
+  /// by coordinate (one round per distinct value: C_k rounds).
+  std::vector<std::vector<TreeEdge>> edges;
+  std::vector<int> perm;  ///< dimension processed at each level
+
+  /// Index (in levels[level+1]) of the child of `parent` whose edge
+  /// coordinate is zero, or -1 when the parent has no such child.
+  [[nodiscard]] int zero_child(std::size_t level, int parent) const;
+
+  /// Number of communicated edges = the per-process allgather volume.
+  [[nodiscard]] long long volume() const {
+    long long v = 0;
+    for (const auto& level : edges) v += static_cast<long long>(level.size());
+    return v;
+  }
+};
+
+AllgatherTree build_tree(const Neighborhood& nb, std::span<const int> perm);
+
+}  // namespace cartcomm::detail

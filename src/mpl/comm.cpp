@@ -1,0 +1,343 @@
+#include "mpl/comm.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+
+#include "mpl/comm_state.hpp"
+#include "mpl/error.hpp"
+#include "mpl/proc.hpp"
+
+namespace mpl {
+
+namespace {
+
+// Internal traffic (communicator creation) runs in a shadow context derived
+// from the user context, so it can never match user receives, and bypasses
+// the network cost model (setup is not part of any timed experiment).
+constexpr std::uint64_t kInternalCtxBit = 1ULL << 63;
+constexpr std::uint64_t kCollCtxBit = 1ULL << 62;
+constexpr int kInternalTag = 0;
+
+std::uint64_t channel_ctx(std::uint64_t ctx, Comm::Channel ch) {
+  return ch == Comm::Channel::coll ? (ctx | kCollCtxBit) : ctx;
+}
+
+// Number of contiguous memory pieces a posted operation touches (for the
+// per-block cost of the network model). Dense types merge across elements
+// into a single block; otherwise each element contributes its own blocks.
+std::size_t message_blocks(const Datatype& type, int count) {
+  if (count <= 0 || !type.valid() || type.block_count() == 0) return 1;
+  const bool dense = type.block_count() == 1 &&
+                     type.extent() == static_cast<std::ptrdiff_t>(type.size());
+  if (dense) return 1;
+  return type.block_count() * static_cast<std::size_t>(count);
+}
+
+void validate_rank(int rank, int size, const char* what) {
+  MPL_REQUIRE(rank == PROC_NULL || (rank >= 0 && rank < size),
+              std::string(what) + " rank out of range");
+}
+
+}  // namespace
+
+Comm CommBuilder::make(std::shared_ptr<detail::CommState> state, int rank) {
+  return Comm(std::move(state), rank);
+}
+
+int Comm::size() const noexcept {
+  return state_ ? static_cast<int>(state_->members.size()) : 0;
+}
+
+Proc& Comm::proc() const { return *state_->members[static_cast<std::size_t>(rank_)]; }
+
+// ---------------------------------------------------------------------------
+// Point-to-point
+// ---------------------------------------------------------------------------
+
+Request Comm::isend(const void* buf, int count, const Datatype& type, int dest,
+                    int tag) const {
+  return isend_on(Channel::user, buf, count, type, dest, tag);
+}
+
+Request Comm::irecv(void* buf, int count, const Datatype& type, int src,
+                    int tag) const {
+  return irecv_on(Channel::user, buf, count, type, src, tag);
+}
+
+Request Comm::isend_on(Channel ch, const void* buf, int count,
+                       const Datatype& type, int dest, int tag) const {
+  MPL_REQUIRE(valid(), "isend on invalid communicator");
+  MPL_REQUIRE(count >= 0, "isend: negative count");
+  MPL_REQUIRE(tag >= 0, "isend: negative tag");
+  validate_rank(dest, size(), "isend: destination");
+
+  auto st = std::make_shared<detail::ReqState>();
+  st->kind = detail::ReqState::Kind::send;
+  st->done = true;  // eager transport: send buffer is reusable on return
+  if (dest == PROC_NULL) return Request(std::move(st), &proc());
+
+  detail::Message msg;
+  msg.ctx = channel_ctx(state_->ctx, ch);
+  msg.src = rank_;
+  msg.tag = tag;
+  msg.payload.resize(type.pack_size(count));
+  type.pack(buf, count, msg.payload.data());
+  msg.from_self = (dest == rank_);
+
+  Proc& self = proc();
+  if (self.clock().enabled()) {
+    msg.depart = msg.from_self ? self.clock().now()
+                               : self.clock().post_send(
+                                     msg.payload.size(),
+                                     message_blocks(type, count));
+  }
+  state_->members[static_cast<std::size_t>(dest)]->mailbox().deliver(std::move(msg));
+  return Request(std::move(st), &self);
+}
+
+Request Comm::irecv_on(Channel ch, void* buf, int count, const Datatype& type,
+                       int src, int tag) const {
+  MPL_REQUIRE(valid(), "irecv on invalid communicator");
+  MPL_REQUIRE(count >= 0, "irecv: negative count");
+  MPL_REQUIRE(tag >= 0 || tag == ANY_TAG, "irecv: invalid tag");
+  MPL_REQUIRE(src == ANY_SOURCE || src == PROC_NULL || (src >= 0 && src < size()),
+              "irecv: source rank out of range");
+
+  auto st = std::make_shared<detail::ReqState>();
+  st->kind = detail::ReqState::Kind::recv;
+  if (src == PROC_NULL) {
+    st->done = true;
+    st->null_recv = true;
+    st->status = Status{PROC_NULL, ANY_TAG, 0};
+    return Request(std::move(st), &proc());
+  }
+  st->ctx = channel_ctx(state_->ctx, ch);
+  st->match_src = src;
+  st->match_tag = tag;
+  st->base = buf;
+  st->count = count;
+  st->type = type;
+
+  Proc& self = proc();
+  if (self.clock().enabled()) {
+    self.clock().post_recv(type.pack_size(count), message_blocks(type, count));
+  }
+  self.mailbox().post_recv(st);
+  return Request(std::move(st), &self);
+}
+
+Comm::PersistentP2P Comm::send_init(const void* buf, int count,
+                                    const Datatype& type, int dest,
+                                    int tag) const {
+  MPL_REQUIRE(valid(), "send_init on invalid communicator");
+  validate_rank(dest, size(), "send_init: destination");
+  PersistentP2P p;
+  p.state_ = state_;
+  p.rank_ = rank_;
+  p.send_ = true;
+  p.buf_ = const_cast<void*>(buf);
+  p.count_ = count;
+  p.type_ = type;
+  p.peer_ = dest;
+  p.tag_ = tag;
+  return p;
+}
+
+Comm::PersistentP2P Comm::recv_init(void* buf, int count, const Datatype& type,
+                                    int src, int tag) const {
+  MPL_REQUIRE(valid(), "recv_init on invalid communicator");
+  MPL_REQUIRE(src == ANY_SOURCE || src == PROC_NULL || (src >= 0 && src < size()),
+              "recv_init: source rank out of range");
+  PersistentP2P p;
+  p.state_ = state_;
+  p.rank_ = rank_;
+  p.send_ = false;
+  p.buf_ = buf;
+  p.count_ = count;
+  p.type_ = type;
+  p.peer_ = src;
+  p.tag_ = tag;
+  return p;
+}
+
+Request Comm::PersistentP2P::start() const {
+  MPL_REQUIRE(state_ != nullptr, "start on default-constructed PersistentP2P");
+  const Comm comm = CommBuilder::make(state_, rank_);
+  return send_ ? comm.isend(buf_, count_, type_, peer_, tag_)
+               : comm.irecv(buf_, count_, type_, peer_, tag_);
+}
+
+Status Comm::probe(int src, int tag) const {
+  MPL_REQUIRE(valid(), "probe on invalid communicator");
+  MPL_REQUIRE(src == ANY_SOURCE || (src >= 0 && src < size()),
+              "probe: source rank out of range");
+  return proc().mailbox().wait_probe(state_->ctx, src, tag);
+}
+
+bool Comm::iprobe(int src, int tag, Status* st) const {
+  MPL_REQUIRE(valid(), "iprobe on invalid communicator");
+  MPL_REQUIRE(src == ANY_SOURCE || (src >= 0 && src < size()),
+              "iprobe: source rank out of range");
+  return proc().mailbox().probe_unexpected(state_->ctx, src, tag, st);
+}
+
+void Comm::send(const void* buf, int count, const Datatype& type, int dest,
+                int tag) const {
+  isend(buf, count, type, dest, tag);  // eager: completes immediately
+}
+
+Status Comm::recv(void* buf, int count, const Datatype& type, int src,
+                  int tag) const {
+  return irecv(buf, count, type, src, tag).wait();
+}
+
+Status Comm::sendrecv(const void* sendbuf, int sendcount,
+                      const Datatype& sendtype, int dest, int sendtag,
+                      void* recvbuf, int recvcount, const Datatype& recvtype,
+                      int src, int recvtag) const {
+  return sendrecv_on(Channel::user, sendbuf, sendcount, sendtype, dest, sendtag,
+                     recvbuf, recvcount, recvtype, src, recvtag);
+}
+
+Status Comm::sendrecv_on(Channel ch, const void* sendbuf, int sendcount,
+                         const Datatype& sendtype, int dest, int sendtag,
+                         void* recvbuf, int recvcount, const Datatype& recvtype,
+                         int src, int recvtag) const {
+  Request r = irecv_on(ch, recvbuf, recvcount, recvtype, src, recvtag);
+  isend_on(ch, sendbuf, sendcount, sendtype, dest, sendtag);
+  return r.wait();
+}
+
+// ---------------------------------------------------------------------------
+// Internal (model-free) p2p used during communicator creation
+// ---------------------------------------------------------------------------
+
+void Comm::internal_send(const void* data, std::size_t bytes, int dest) const {
+  detail::Message msg;
+  msg.ctx = state_->ctx | kInternalCtxBit;
+  msg.src = rank_;
+  msg.tag = kInternalTag;
+  msg.payload.resize(bytes);
+  std::memcpy(msg.payload.data(), data, bytes);
+  msg.from_self = (dest == rank_);
+  state_->members[static_cast<std::size_t>(dest)]->mailbox().deliver(std::move(msg));
+}
+
+void Comm::internal_recv(void* data, std::size_t bytes, int src) const {
+  auto st = std::make_shared<detail::ReqState>();
+  st->kind = detail::ReqState::Kind::recv;
+  st->ctx = state_->ctx | kInternalCtxBit;
+  st->match_src = src;
+  st->match_tag = kInternalTag;
+  st->base = data;
+  st->count = 1;
+  st->type = Datatype::bytes(bytes);
+  st->null_recv = true;  // bypass model accounting
+  Proc& self = proc();
+  self.mailbox().post_recv(st);
+  self.mailbox().wait_done(st);
+  MPL_REQUIRE(st->error.empty(), st->error);
+}
+
+// ---------------------------------------------------------------------------
+// Communicator management
+// ---------------------------------------------------------------------------
+
+// Create a communicator over `member_procs` (process pointers in new rank
+// order). The leader (new rank 0) allocates the context and state and hands
+// the shared state to the other members through the runtime's publish table;
+// members learn the context id via an internal message on the parent.
+Comm Comm::create_group(const std::vector<Proc*>& member_procs,
+                        const std::vector<int>& member_parent_ranks,
+                        int my_new_rank) const {
+  const Comm& parent = *this;
+  auto& rt = parent.proc().runtime();
+  std::shared_ptr<detail::CommState> st;
+  if (my_new_rank == 0) {
+    st = std::make_shared<detail::CommState>();
+    st->ctx = rt.next_ctx.fetch_add(1, std::memory_order_relaxed);
+    st->members = member_procs;
+    st->rt = &rt;
+    st->oob = std::make_shared<detail::OobBarrier>(
+        static_cast<int>(member_procs.size()), &rt.abort);
+    rt.publish_comm(st);
+    for (std::size_t i = 1; i < member_parent_ranks.size(); ++i) {
+      parent.internal_send(&st->ctx, sizeof(st->ctx), member_parent_ranks[i]);
+    }
+  } else {
+    std::uint64_t ctx = 0;
+    parent.internal_recv(&ctx, sizeof(ctx), member_parent_ranks[0]);
+    st = rt.lookup_comm(ctx);
+  }
+  return CommBuilder::make(std::move(st), my_new_rank);
+}
+
+Comm Comm::dup() const {
+  MPL_REQUIRE(valid(), "dup on invalid communicator");
+  std::vector<int> parent_ranks(static_cast<std::size_t>(size()));
+  for (int i = 0; i < size(); ++i) parent_ranks[static_cast<std::size_t>(i)] = i;
+  return create_group(state_->members, parent_ranks, rank_);
+}
+
+Comm Comm::split(int color, int key) const {
+  MPL_REQUIRE(valid(), "split on invalid communicator");
+  const int p = size();
+
+  // Internal allgather of (color, key) over the parent (ring).
+  struct Item {
+    int color, key;
+  };
+  std::vector<Item> items(static_cast<std::size_t>(p));
+  items[static_cast<std::size_t>(rank_)] = Item{color, key};
+  const int right = (rank_ + 1) % p;
+  const int left = (rank_ - 1 + p) % p;
+  for (int step = 0; step < p - 1; ++step) {
+    const int send_idx = (rank_ - step + p) % p;
+    const int recv_idx = (rank_ - step - 1 + p) % p;
+    // Forward around the ring; internal channel is model-free.
+    internal_send(&items[static_cast<std::size_t>(send_idx)], sizeof(Item), right);
+    internal_recv(&items[static_cast<std::size_t>(recv_idx)], sizeof(Item), left);
+  }
+
+  if (color < 0) return Comm{};  // MPI_UNDEFINED analogue
+
+  // Members of my color, ordered by (key, parent rank).
+  std::vector<int> group;
+  for (int r = 0; r < p; ++r) {
+    if (items[static_cast<std::size_t>(r)].color == color) group.push_back(r);
+  }
+  std::stable_sort(group.begin(), group.end(), [&](int a, int b) {
+    return items[static_cast<std::size_t>(a)].key < items[static_cast<std::size_t>(b)].key;
+  });
+
+  std::vector<Proc*> member_procs;
+  member_procs.reserve(group.size());
+  int my_new_rank = -1;
+  for (std::size_t i = 0; i < group.size(); ++i) {
+    member_procs.push_back(state_->members[static_cast<std::size_t>(group[i])]);
+    if (group[i] == rank_) my_new_rank = static_cast<int>(i);
+  }
+  return create_group(member_procs, group, my_new_rank);
+}
+
+// ---------------------------------------------------------------------------
+// Benchmark / model support
+// ---------------------------------------------------------------------------
+
+void Comm::hard_sync() const {
+  MPL_REQUIRE(valid(), "hard_sync on invalid communicator");
+  state_->oob->arrive_and_wait();
+}
+
+double Comm::vclock() const { return proc().clock().now(); }
+
+void Comm::vclock_reset_sync() const {
+  hard_sync();
+  proc().clock().reset();
+  hard_sync();
+}
+
+bool Comm::model_enabled() const { return proc().clock().enabled(); }
+
+}  // namespace mpl

@@ -1,0 +1,30 @@
+// Internal shared state of a communicator group.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "mpl/runtime_state.hpp"
+
+namespace mpl {
+class Comm;
+
+namespace detail {
+
+struct CommState {
+  std::uint64_t ctx = 0;
+  std::vector<Proc*> members;  // comm rank -> process
+  RuntimeState* rt = nullptr;
+  std::shared_ptr<OobBarrier> oob;  // clock-neutral barrier, one per group
+};
+
+}  // namespace detail
+
+/// Internal factory used by the runtime and by communicator creation.
+class CommBuilder {
+ public:
+  static Comm make(std::shared_ptr<detail::CommState> state, int rank);
+};
+
+}  // namespace mpl

@@ -1,0 +1,329 @@
+#include "mpl/datatype.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "mpl/error.hpp"
+
+namespace mpl {
+
+namespace detail {
+
+// Immutable node shared by Datatype handles. `blocks` is the canonical
+// flattened representation of ONE element, in typemap (pack) order.
+struct TypeNode {
+  std::vector<TypeBlock> blocks;
+  std::size_t size = 0;         // sum of block lengths
+  std::ptrdiff_t lb = 0;        // lower bound (possibly resized)
+  std::ptrdiff_t ub = 0;        // upper bound (lb + extent)
+  bool absolute = false;        // built from absolute addresses (use BOTTOM)
+};
+
+namespace {
+
+// Append `b` to `out`, merging with the previous block when contiguous.
+void push_merged(std::vector<TypeBlock>& out, TypeBlock b) {
+  if (b.len == 0) return;
+  if (!out.empty() &&
+      out.back().disp + static_cast<std::ptrdiff_t>(out.back().len) == b.disp) {
+    out.back().len += b.len;
+  } else {
+    out.push_back(b);
+  }
+}
+
+// Append one element of `t` shifted by `disp`.
+void append_shifted(std::vector<TypeBlock>& out, const TypeNode& t,
+                    std::ptrdiff_t disp) {
+  for (const TypeBlock& b : t.blocks) {
+    push_merged(out, TypeBlock{b.disp + disp, b.len});
+  }
+}
+
+std::shared_ptr<const TypeNode> make_node(std::vector<TypeBlock> blocks,
+                                          std::ptrdiff_t lb, std::ptrdiff_t ub,
+                                          bool absolute = false) {
+  auto n = std::make_shared<TypeNode>();
+  n->blocks = std::move(blocks);
+  n->size = 0;
+  for (const TypeBlock& b : n->blocks) n->size += b.len;
+  n->lb = lb;
+  n->ub = ub;
+  n->absolute = absolute;
+  return n;
+}
+
+// Natural footprint [lb, ub) of a block list (0-width for empty types).
+std::pair<std::ptrdiff_t, std::ptrdiff_t> footprint(
+    const std::vector<TypeBlock>& blocks) {
+  if (blocks.empty()) return {0, 0};
+  std::ptrdiff_t lo = blocks.front().disp;
+  std::ptrdiff_t hi = blocks.front().disp;
+  for (const TypeBlock& b : blocks) {
+    lo = std::min(lo, b.disp);
+    hi = std::max(hi, b.disp + static_cast<std::ptrdiff_t>(b.len));
+  }
+  return {lo, hi};
+}
+
+}  // namespace
+}  // namespace detail
+
+using detail::TypeNode;
+
+const TypeNode& Datatype::node() const {
+  MPL_REQUIRE(node_ != nullptr, "use of invalid (default-constructed) Datatype");
+  return *node_;
+}
+
+Datatype Datatype::bytes(std::size_t n) {
+  std::vector<TypeBlock> blocks;
+  if (n > 0) blocks.push_back({0, n});
+  return Datatype(detail::make_node(std::move(blocks), 0,
+                                    static_cast<std::ptrdiff_t>(n)));
+}
+
+Datatype Datatype::contiguous(int count, const Datatype& t) {
+  MPL_REQUIRE(count >= 0, "contiguous: negative count");
+  const TypeNode& in = t.node();
+  const std::ptrdiff_t ext = in.ub - in.lb;
+  std::vector<TypeBlock> blocks;
+  blocks.reserve(in.blocks.size() * static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    detail::append_shifted(blocks, in, static_cast<std::ptrdiff_t>(i) * ext);
+  }
+  return Datatype(detail::make_node(std::move(blocks), in.lb,
+                                    in.lb + static_cast<std::ptrdiff_t>(count) * ext));
+}
+
+Datatype Datatype::vector(int count, int blocklen, int stride,
+                          const Datatype& t) {
+  const std::ptrdiff_t ext = t.node().ub - t.node().lb;
+  return hvector(count, blocklen, stride * ext, t);
+}
+
+Datatype Datatype::hvector(int count, int blocklen,
+                           std::ptrdiff_t stride_bytes, const Datatype& t) {
+  MPL_REQUIRE(count >= 0 && blocklen >= 0, "hvector: negative count/blocklen");
+  const TypeNode& in = t.node();
+  const std::ptrdiff_t ext = in.ub - in.lb;
+  std::vector<TypeBlock> blocks;
+  for (int i = 0; i < count; ++i) {
+    const std::ptrdiff_t start = static_cast<std::ptrdiff_t>(i) * stride_bytes;
+    for (int j = 0; j < blocklen; ++j) {
+      detail::append_shifted(blocks, in, start + static_cast<std::ptrdiff_t>(j) * ext);
+    }
+  }
+  auto [lo, hi] = detail::footprint(blocks);
+  return Datatype(detail::make_node(std::move(blocks), lo, hi));
+}
+
+Datatype Datatype::indexed(std::span<const int> blocklens,
+                           std::span<const int> displs, const Datatype& t) {
+  MPL_REQUIRE(blocklens.size() == displs.size(),
+              "indexed: blocklens/displs size mismatch");
+  const std::ptrdiff_t ext = t.node().ub - t.node().lb;
+  std::vector<std::ptrdiff_t> byte_displs(displs.size());
+  for (std::size_t i = 0; i < displs.size(); ++i) {
+    byte_displs[i] = static_cast<std::ptrdiff_t>(displs[i]) * ext;
+  }
+  return hindexed(blocklens, byte_displs, t);
+}
+
+Datatype Datatype::indexed_block(int blocklen, std::span<const int> displs,
+                                 const Datatype& t) {
+  std::vector<int> blocklens(displs.size(), blocklen);
+  return indexed(blocklens, displs, t);
+}
+
+Datatype Datatype::hindexed(std::span<const int> blocklens,
+                            std::span<const std::ptrdiff_t> byte_displs,
+                            const Datatype& t) {
+  MPL_REQUIRE(blocklens.size() == byte_displs.size(),
+              "hindexed: blocklens/displs size mismatch");
+  const TypeNode& in = t.node();
+  const std::ptrdiff_t ext = in.ub - in.lb;
+  std::vector<TypeBlock> blocks;
+  for (std::size_t i = 0; i < blocklens.size(); ++i) {
+    MPL_REQUIRE(blocklens[i] >= 0, "hindexed: negative blocklen");
+    for (int j = 0; j < blocklens[i]; ++j) {
+      detail::append_shifted(blocks, in,
+                             byte_displs[i] + static_cast<std::ptrdiff_t>(j) * ext);
+    }
+  }
+  auto [lo, hi] = detail::footprint(blocks);
+  return Datatype(detail::make_node(std::move(blocks), lo, hi));
+}
+
+Datatype Datatype::strukt(std::span<const int> blocklens,
+                          std::span<const std::ptrdiff_t> byte_displs,
+                          std::span<const Datatype> types) {
+  MPL_REQUIRE(blocklens.size() == byte_displs.size() &&
+                  blocklens.size() == types.size(),
+              "strukt: argument size mismatch");
+  std::vector<TypeBlock> blocks;
+  for (std::size_t i = 0; i < blocklens.size(); ++i) {
+    const TypeNode& in = types[i].node();
+    const std::ptrdiff_t ext = in.ub - in.lb;
+    MPL_REQUIRE(blocklens[i] >= 0, "strukt: negative blocklen");
+    for (int j = 0; j < blocklens[i]; ++j) {
+      detail::append_shifted(blocks, in,
+                             byte_displs[i] + static_cast<std::ptrdiff_t>(j) * ext);
+    }
+  }
+  auto [lo, hi] = detail::footprint(blocks);
+  return Datatype(detail::make_node(std::move(blocks), lo, hi));
+}
+
+Datatype Datatype::subarray(std::span<const int> sizes,
+                            std::span<const int> subsizes,
+                            std::span<const int> starts, const Datatype& t) {
+  const std::size_t d = sizes.size();
+  MPL_REQUIRE(d >= 1, "subarray: need at least one dimension");
+  MPL_REQUIRE(subsizes.size() == d && starts.size() == d,
+              "subarray: argument arity mismatch");
+  const TypeNode& in = t.node();
+  const std::ptrdiff_t ext = in.ub - in.lb;
+  long long total = 1;
+  for (std::size_t k = 0; k < d; ++k) {
+    MPL_REQUIRE(sizes[k] >= 1 && subsizes[k] >= 0 && starts[k] >= 0 &&
+                    starts[k] + subsizes[k] <= sizes[k],
+                "subarray: box out of bounds");
+    total *= sizes[k];
+  }
+  // Enumerate the box rows (innermost dimension contiguous), in row-major
+  // order, as one element-displacement per run.
+  std::vector<TypeBlock> blocks;
+  bool empty = false;
+  for (std::size_t k = 0; k < d; ++k) empty = empty || subsizes[k] == 0;
+  if (!empty) {
+    std::vector<int> idx(starts.begin(), starts.end() - 1);
+    bool more = true;
+    while (more) {
+      long long lin = 0;
+      for (std::size_t k = 0; k + 1 < d; ++k) lin = lin * sizes[k] + idx[k];
+      lin = lin * sizes[d - 1] + starts[d - 1];
+      // One run of subsizes[d-1] elements of t.
+      for (int j = 0; j < subsizes[d - 1]; ++j) {
+        detail::append_shifted(blocks, in,
+                               static_cast<std::ptrdiff_t>(lin + j) * ext);
+      }
+      if (d == 1) break;
+      std::size_t k = d - 2;
+      while (true) {
+        if (++idx[k] < starts[k] + subsizes[k]) break;
+        idx[k] = starts[k];
+        if (k == 0) {
+          more = false;
+          break;
+        }
+        --k;
+      }
+    }
+  }
+  // Extent covers the full array (MPI subarray semantics).
+  return Datatype(detail::make_node(std::move(blocks), 0,
+                                    static_cast<std::ptrdiff_t>(total) * ext));
+}
+
+Datatype Datatype::resized(const Datatype& t, std::ptrdiff_t lb,
+                           std::size_t extent) {
+  const TypeNode& in = t.node();
+  return Datatype(detail::make_node(std::vector<TypeBlock>(in.blocks), lb,
+                                    lb + static_cast<std::ptrdiff_t>(extent),
+                                    in.absolute));
+}
+
+std::size_t Datatype::size() const { return node().size; }
+std::ptrdiff_t Datatype::lb() const { return node().lb; }
+std::ptrdiff_t Datatype::extent() const { return node().ub - node().lb; }
+std::size_t Datatype::block_count() const { return node().blocks.size(); }
+
+std::span<const TypeBlock> Datatype::blocks() const { return node().blocks; }
+
+void Datatype::flatten(std::ptrdiff_t base_disp, int count,
+                       std::vector<TypeBlock>& out) const {
+  const TypeNode& n = node();
+  const std::ptrdiff_t ext = n.ub - n.lb;
+  for (int i = 0; i < count; ++i) {
+    const std::ptrdiff_t shift = base_disp + static_cast<std::ptrdiff_t>(i) * ext;
+    for (const TypeBlock& b : n.blocks) {
+      detail::push_merged(out, TypeBlock{b.disp + shift, b.len});
+    }
+  }
+}
+
+void Datatype::pack(const void* base, int count, std::byte* out) const {
+  const TypeNode& n = node();
+  const std::ptrdiff_t ext = n.ub - n.lb;
+  const char* cbase = static_cast<const char*>(base);
+  for (int i = 0; i < count; ++i) {
+    const std::ptrdiff_t shift = static_cast<std::ptrdiff_t>(i) * ext;
+    for (const TypeBlock& b : n.blocks) {
+      std::memcpy(out, cbase + b.disp + shift, b.len);
+      out += b.len;
+    }
+  }
+}
+
+void Datatype::unpack(const std::byte* in, void* base, int count) const {
+  const TypeNode& n = node();
+  const std::ptrdiff_t ext = n.ub - n.lb;
+  char* cbase = static_cast<char*>(base);
+  for (int i = 0; i < count; ++i) {
+    const std::ptrdiff_t shift = static_cast<std::ptrdiff_t>(i) * ext;
+    for (const TypeBlock& b : n.blocks) {
+      std::memcpy(cbase + b.disp + shift, in, b.len);
+      in += b.len;
+    }
+  }
+}
+
+std::size_t Datatype::unpack_partial(const std::byte* in, std::size_t nbytes,
+                                     void* base, int count) const {
+  const TypeNode& n = node();
+  const std::ptrdiff_t ext = n.ub - n.lb;
+  char* cbase = static_cast<char*>(base);
+  std::size_t left = std::min(nbytes, pack_size(count));
+  const std::size_t consumed = left;
+  for (int i = 0; i < count && left > 0; ++i) {
+    const std::ptrdiff_t shift = static_cast<std::ptrdiff_t>(i) * ext;
+    for (const TypeBlock& b : n.blocks) {
+      const std::size_t take = std::min(left, b.len);
+      std::memcpy(cbase + b.disp + shift, in, take);
+      in += take;
+      left -= take;
+      if (left == 0) break;
+    }
+  }
+  return consumed;
+}
+
+void TypeBuilder::append(const void* addr, int count, const Datatype& t) {
+  MPL_REQUIRE(count >= 0, "TypeBuilder::append: negative count");
+  const std::ptrdiff_t base =
+      reinterpret_cast<std::ptrdiff_t>(addr);  // absolute displacement
+  std::vector<TypeBlock> tmp;
+  t.flatten(base, count, tmp);
+  for (const TypeBlock& b : tmp) {
+    detail::push_merged(blocks_, b);
+    size_ += b.len;
+  }
+}
+
+void TypeBuilder::append_bytes(const void* addr, std::size_t nbytes) {
+  if (nbytes == 0) return;
+  detail::push_merged(blocks_,
+                      TypeBlock{reinterpret_cast<std::ptrdiff_t>(addr), nbytes});
+  size_ += nbytes;
+}
+
+Datatype TypeBuilder::build() {
+  auto [lo, hi] = detail::footprint(blocks_);
+  Datatype t(detail::make_node(std::move(blocks_), lo, hi, /*absolute=*/true));
+  blocks_.clear();
+  size_ = 0;
+  return t;
+}
+
+}  // namespace mpl

@@ -1,0 +1,13 @@
+#include "mpl/error.hpp"
+
+#include <sstream>
+
+namespace mpl::detail {
+
+void fail(const char* file, int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "mpl error at " << file << ":" << line << ": " << msg;
+  throw Error(os.str());
+}
+
+}  // namespace mpl::detail

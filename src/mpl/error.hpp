@@ -1,0 +1,30 @@
+// Error handling for the mpl message-passing runtime.
+//
+// Setup-time programmer errors (bad arguments, mismatched collective calls,
+// malformed datatypes) throw mpl::Error; the communication fast path is
+// exception-free once arguments have been validated.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace mpl {
+
+/// Exception thrown for all mpl usage errors (invalid ranks, tags,
+/// datatype construction errors, topology mismatches, ...).
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void fail(const char* file, int line, const std::string& msg);
+}  // namespace detail
+
+}  // namespace mpl
+
+/// Validate a runtime condition; throws mpl::Error with location on failure.
+#define MPL_REQUIRE(cond, msg)                              \
+  do {                                                      \
+    if (!(cond)) ::mpl::detail::fail(__FILE__, __LINE__, (msg)); \
+  } while (0)

@@ -1,0 +1,115 @@
+#include "mpl/mailbox.hpp"
+
+#include "mpl/error.hpp"
+
+namespace mpl {
+
+using detail::Message;
+using detail::ReqState;
+
+bool Mailbox::matches(const ReqState& r, const Message& m) {
+  return r.ctx == m.ctx &&
+         (r.match_src == ANY_SOURCE || r.match_src == m.src) &&
+         (r.match_tag == ANY_TAG || r.match_tag == m.tag);
+}
+
+void Mailbox::complete(ReqState& r, Message& m) {
+  const std::size_t capacity = r.type.pack_size(r.count);
+  // MPI truncation semantics: an incoming message longer than the posted
+  // receive is an error, surfaced at the *receiver's* wait/test call.
+  if (m.payload.size() > capacity) {
+    r.status = Status{m.src, m.tag, m.payload.size()};
+    r.error = "mpl: message truncated (incoming " +
+              std::to_string(m.payload.size()) + " bytes, receive capacity " +
+              std::to_string(capacity) + " bytes)";
+    r.null_recv = true;  // suppress model accounting
+    r.done = true;
+    return;
+  }
+  const std::size_t got =
+      r.type.unpack_partial(m.payload.data(), m.payload.size(), r.base, r.count);
+  r.status = Status{m.src, m.tag, got};
+  r.depart = m.depart;
+  r.from_self = m.from_self;
+  r.done = true;
+}
+
+void Mailbox::deliver(Message msg) {
+  std::lock_guard<std::mutex> lock(mtx_);
+  for (auto it = posted_.begin(); it != posted_.end(); ++it) {
+    if (matches(**it, msg)) {
+      complete(**it, msg);
+      posted_.erase(it);
+      cv_.notify_all();
+      return;
+    }
+  }
+  unexpected_.push_back(std::move(msg));
+  cv_.notify_all();  // wake blocking probes
+}
+
+namespace {
+bool probe_match(const std::deque<Message>& q, std::uint64_t ctx, int src,
+                 int tag, Status* st) {
+  for (const Message& m : q) {
+    const bool hit = m.ctx == ctx && (src == ANY_SOURCE || src == m.src) &&
+                     (tag == ANY_TAG || tag == m.tag);
+    if (hit) {
+      if (st) *st = Status{m.src, m.tag, m.payload.size()};
+      return true;
+    }
+  }
+  return false;
+}
+}  // namespace
+
+bool Mailbox::probe_unexpected(std::uint64_t ctx, int src, int tag,
+                               Status* st) {
+  std::lock_guard<std::mutex> lock(mtx_);
+  return probe_match(unexpected_, ctx, src, tag, st);
+}
+
+Status Mailbox::wait_probe(std::uint64_t ctx, int src, int tag) {
+  std::unique_lock<std::mutex> lock(mtx_);
+  Status st;
+  cv_.wait(lock, [&] {
+    return probe_match(unexpected_, ctx, src, tag, &st) ||
+           (abort_flag_ && abort_flag_->load(std::memory_order_relaxed));
+  });
+  if (!probe_match(unexpected_, ctx, src, tag, &st)) {
+    throw Error("mpl: runtime aborted while probing");
+  }
+  return st;
+}
+
+void Mailbox::post_recv(const std::shared_ptr<ReqState>& r) {
+  std::lock_guard<std::mutex> lock(mtx_);
+  for (auto it = unexpected_.begin(); it != unexpected_.end(); ++it) {
+    if (matches(*r, *it)) {
+      complete(*r, *it);
+      unexpected_.erase(it);
+      return;
+    }
+  }
+  posted_.push_back(r);
+}
+
+void Mailbox::wait_done(const std::shared_ptr<ReqState>& r) {
+  std::unique_lock<std::mutex> lock(mtx_);
+  cv_.wait(lock, [&] {
+    return r->done || (abort_flag_ && abort_flag_->load(std::memory_order_relaxed));
+  });
+  if (!r->done) throw Error("mpl: runtime aborted while waiting for a request");
+}
+
+bool Mailbox::poll_done(const std::shared_ptr<ReqState>& r) {
+  std::lock_guard<std::mutex> lock(mtx_);
+  return r->done;
+}
+
+void Mailbox::notify_abort() {
+  std::lock_guard<std::mutex> lock(mtx_);
+  cv_.notify_all();
+}
+
+}  // namespace mpl

@@ -1,0 +1,102 @@
+// Per-process message matching.
+//
+// Each simulated process owns one Mailbox. Senders deliver messages
+// directly (the transport is eager: the payload is packed by the sender
+// and copied once); the mailbox matches them against posted receives using
+// MPI semantics: (context, source, tag) with wildcards, FIFO per
+// (sender, context) pair, matching in arrival/posting order.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <vector>
+
+#include "mpl/request.hpp"
+
+namespace mpl {
+
+/// Wildcard source rank (MPI_ANY_SOURCE analogue).
+inline constexpr int ANY_SOURCE = -2;
+/// Wildcard tag (MPI_ANY_TAG analogue).
+inline constexpr int ANY_TAG = -2;
+/// Null process rank: sends are dropped, receives complete immediately.
+inline constexpr int PROC_NULL = -1;
+
+namespace detail {
+
+/// A packed in-flight message.
+struct Message {
+  std::uint64_t ctx = 0;
+  int src = -1;
+  int tag = -1;
+  std::vector<std::byte> payload;
+  double depart = 0.0;  // sender virtual-clock stamp
+  bool from_self = false;
+};
+
+}  // namespace detail
+
+class Mailbox {
+ public:
+  /// Install the runtime-wide abort flag consulted by blocking waits.
+  void set_abort_flag(const std::atomic<bool>* flag) { abort_flag_ = flag; }
+
+  /// Deliver a message (called by the sending thread). If a matching
+  /// receive is posted, the payload is unpacked into its buffer and the
+  /// request completed; otherwise the message is queued as unexpected.
+  void deliver(detail::Message msg);
+
+  /// Post a receive (called by the owning thread). May complete
+  /// immediately against an unexpected message.
+  void post_recv(const std::shared_ptr<detail::ReqState>& r);
+
+  /// Block the owning thread until `r` completes (or the runtime aborts).
+  void wait_done(const std::shared_ptr<detail::ReqState>& r);
+
+  /// Non-blocking completion check.
+  bool poll_done(const std::shared_ptr<detail::ReqState>& r);
+
+  /// Block the owning thread until `pred()` holds (checked under the
+  /// mailbox lock, re-evaluated on every completion/arrival) or the
+  /// runtime aborts. Used by wait_any and blocking probe.
+  template <typename Pred>
+  void wait_until(Pred&& pred) {
+    std::unique_lock<std::mutex> lock(mtx_);
+    cv_.wait(lock, [&] {
+      return pred() ||
+             (abort_flag_ && abort_flag_->load(std::memory_order_relaxed));
+    });
+    if (!pred()) {
+      throw std::runtime_error("mpl: runtime aborted while waiting");
+    }
+  }
+
+  /// Match an unexpected (not yet received) message without consuming it
+  /// (MPI_Iprobe). Fills `st` and returns true when one is queued.
+  bool probe_unexpected(std::uint64_t ctx, int src, int tag, Status* st);
+
+  /// Blocking probe (MPI_Probe): wait until a matching message is queued,
+  /// return its envelope without consuming it.
+  Status wait_probe(std::uint64_t ctx, int src, int tag);
+
+  /// Wake all waiters so they can observe the abort flag.
+  void notify_abort();
+
+ private:
+  static bool matches(const detail::ReqState& r, const detail::Message& m);
+  static void complete(detail::ReqState& r, detail::Message& m);
+
+  std::mutex mtx_;
+  std::condition_variable cv_;
+  std::deque<detail::Message> unexpected_;
+  std::list<std::shared_ptr<detail::ReqState>> posted_;
+  const std::atomic<bool>* abort_flag_ = nullptr;
+};
+
+}  // namespace mpl

@@ -1,0 +1,15 @@
+// Umbrella header for the mpl message-passing substrate.
+#pragma once
+
+#include "mpl/collectives.hpp"
+#include "mpl/comm.hpp"
+#include "mpl/datatype.hpp"
+#include "mpl/error.hpp"
+#include "mpl/mailbox.hpp"
+#include "mpl/neighborhood.hpp"
+#include "mpl/netmodel.hpp"
+#include "mpl/proc.hpp"
+#include "mpl/reduce.hpp"
+#include "mpl/request.hpp"
+#include "mpl/runtime.hpp"
+#include "mpl/topology.hpp"

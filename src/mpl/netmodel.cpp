@@ -1,0 +1,38 @@
+#include "mpl/netmodel.hpp"
+
+namespace mpl {
+
+// Profile constants approximate the per-message overhead, latency and
+// bandwidth of the two fabrics used in the paper. Absolute values do not
+// need to match the real machines (the paper's claims are about relative
+// behaviour); they are chosen in the realistic range for the hardware:
+// OmniPath ~ 1 us MPI latency, ~12.5 GB/s per port; Gemini ~ 1.5 us,
+// ~6 GB/s, with a larger per-message software overhead.
+
+NetConfig NetConfig::omnipath() {
+  NetConfig c;
+  c.enabled = true;
+  c.o = 0.4e-6;
+  c.L = 1.0e-6;
+  c.G = 1.0 / 12.5e9;
+  c.copy = 1.0 / 40e9;
+  c.o_block = 40e-9;
+  c.G_pack = 0.3e-9;
+  return c;
+}
+
+NetConfig NetConfig::gemini() {
+  NetConfig c;
+  c.enabled = true;
+  c.o = 0.8e-6;
+  c.L = 1.5e-6;
+  c.G = 1.0 / 6.0e9;
+  c.copy = 1.0 / 20e9;
+  c.o_block = 60e-9;
+  c.G_pack = 0.3e-9;
+  return c;
+}
+
+NetConfig NetConfig::off() { return NetConfig{}; }
+
+}  // namespace mpl

@@ -1,0 +1,42 @@
+// One simulated process: rank, mailbox, virtual clock.
+#pragma once
+
+#include "mpl/mailbox.hpp"
+#include "mpl/netmodel.hpp"
+
+namespace mpl {
+
+namespace detail {
+struct RuntimeState;
+}
+
+/// Execution context of one simulated process. Owned by the runtime;
+/// each Proc is driven by exactly one thread for the duration of run().
+class Proc {
+ public:
+  [[nodiscard]] int world_rank() const noexcept { return world_rank_; }
+  [[nodiscard]] int world_size() const noexcept { return world_size_; }
+
+  Mailbox& mailbox() noexcept { return mailbox_; }
+  NetClock& clock() noexcept { return clock_; }
+  detail::RuntimeState& runtime() noexcept { return *rt_; }
+
+  /// Internal: called once by the runtime before the process thread starts.
+  void init(int world_rank, int world_size, detail::RuntimeState* rt) {
+    world_rank_ = world_rank;
+    world_size_ = world_size;
+    rt_ = rt;
+  }
+
+ private:
+  int world_rank_ = -1;
+  int world_size_ = 0;
+  Mailbox mailbox_;
+  NetClock clock_;
+  detail::RuntimeState* rt_ = nullptr;
+};
+
+/// The Proc driven by the calling thread; null outside mpl::run().
+Proc* this_proc() noexcept;
+
+}  // namespace mpl

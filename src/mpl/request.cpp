@@ -1,0 +1,92 @@
+#include "mpl/request.hpp"
+
+#include "mpl/error.hpp"
+#include "mpl/proc.hpp"
+
+namespace mpl {
+
+namespace {
+
+// Perform the (idempotent) network-model accounting for a completed
+// request on its owning process. Receive completions advance the owner's
+// virtual clock past the arrival of the message; sends complete locally.
+void account(detail::ReqState& st, Proc& owner) {
+  if (st.model_accounted) return;
+  st.model_accounted = true;
+  if (st.kind != detail::ReqState::Kind::recv || st.null_recv) return;
+  if (!owner.clock().enabled()) return;
+  const double done_at =
+      owner.clock().complete_recv(st.depart, st.status.bytes, st.from_self);
+  owner.clock().advance_to(done_at);
+}
+
+}  // namespace
+
+Status Request::wait() {
+  MPL_REQUIRE(valid(), "wait on invalid request");
+  if (!state_->done) owner_->mailbox().wait_done(state_);
+  if (!state_->error.empty()) throw Error(state_->error);
+  account(*state_, *owner_);
+  return state_->status;
+}
+
+bool Request::test(Status* st) {
+  MPL_REQUIRE(valid(), "test on invalid request");
+  if (!state_->done && !owner_->mailbox().poll_done(state_)) return false;
+  if (!state_->error.empty()) throw Error(state_->error);
+  account(*state_, *owner_);
+  if (st) *st = state_->status;
+  return true;
+}
+
+bool test_any(std::span<Request> reqs, std::size_t* index, Status* st) {
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    if (!reqs[i].valid()) continue;
+    Status s;
+    if (reqs[i].test(&s)) {
+      if (index) *index = i;
+      if (st) *st = s;
+      return true;
+    }
+  }
+  return false;
+}
+
+Status wait_any(std::span<Request> reqs, std::size_t* index) {
+  Proc* owner = nullptr;
+  for (const Request& r : reqs) {
+    if (r.valid()) {
+      MPL_REQUIRE(owner == nullptr || owner == r.owner_,
+                  "wait_any: requests from different processes");
+      owner = r.owner_;
+    }
+  }
+  MPL_REQUIRE(owner != nullptr, "wait_any: no valid request");
+  // Completion flags are set under the owner's mailbox lock, so the
+  // predicate re-evaluates exactly when one may have flipped.
+  owner->mailbox().wait_until([&] {
+    for (const Request& r : reqs) {
+      if (r.valid() && r.state_->done) return true;
+    }
+    return false;
+  });
+  std::size_t idx = 0;
+  Status st;
+  const bool some = test_any(reqs, &idx, &st);
+  MPL_REQUIRE(some, "wait_any: internal inconsistency");
+  if (index) *index = idx;
+  return st;
+}
+
+void wait_all(std::span<Request> reqs, std::span<Status> statuses) {
+  MPL_REQUIRE(statuses.empty() || statuses.size() >= reqs.size(),
+              "wait_all: status array too small");
+  // Completion is awaited in request order, which also fixes the order of
+  // virtual-clock accounting (deterministic results under the model).
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    Status s = reqs[i].wait();
+    if (!statuses.empty()) statuses[i] = s;
+  }
+}
+
+}  // namespace mpl

@@ -1,0 +1,100 @@
+// Non-blocking communication requests.
+//
+// A Request is a handle to the completion state of one isend/irecv. Receive
+// requests are completed by the delivering thread (under the receiver's
+// mailbox lock); send requests complete locally at post time (the transport
+// is eager/buffered). Waiting also performs the network-model accounting
+// for the owning process, in request order, which keeps virtual-clock
+// results deterministic.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <memory>
+#include <span>
+#include <string>
+
+#include "mpl/datatype.hpp"
+
+namespace mpl {
+
+class Proc;
+
+/// Completion information of a receive (source, tag, payload bytes).
+struct Status {
+  int source = -1;
+  int tag = -1;
+  std::size_t bytes = 0;
+};
+
+namespace detail {
+
+struct ReqState {
+  enum class Kind { send, recv };
+
+  Kind kind = Kind::send;
+  bool done = false;
+  bool model_accounted = false;
+
+  // Matching criteria (recv only).
+  std::uint64_t ctx = 0;
+  int match_src = -1;
+  int match_tag = -1;
+
+  // Destination layout (recv only).
+  void* base = nullptr;
+  int count = 0;
+  Datatype type;
+
+  // Completion info.
+  Status status;
+  double depart = 0.0;   // virtual departure stamp of the matched message
+  bool from_self = false;
+  bool null_recv = false;  // recv from PROC_NULL: completes immediately
+
+  // Receiver-side delivery error (e.g. truncation); thrown from wait/test.
+  std::string error;
+};
+
+}  // namespace detail
+
+/// Handle to a pending (or completed) non-blocking operation.
+class Request {
+ public:
+  Request() = default;
+
+  [[nodiscard]] bool valid() const noexcept { return state_ != nullptr; }
+
+  /// Block until the operation completes; returns its Status.
+  Status wait();
+
+  /// Non-blocking completion check; fills `st` when done.
+  bool test(Status* st = nullptr);
+
+ private:
+  friend class Comm;
+  friend Status wait_any(std::span<Request> reqs, std::size_t* index);
+  friend bool test_any(std::span<Request> reqs, std::size_t* index, Status* st);
+  friend void wait_all(std::span<Request> reqs, std::span<Status> statuses);
+
+  Request(std::shared_ptr<detail::ReqState> s, Proc* owner)
+      : state_(std::move(s)), owner_(owner) {}
+
+  std::shared_ptr<detail::ReqState> state_;
+  Proc* owner_ = nullptr;
+};
+
+/// Wait for all requests; optionally collect statuses (pass empty span to
+/// ignore, mirroring MPI_STATUSES_IGNORE).
+void wait_all(std::span<Request> reqs, std::span<Status> statuses = {});
+
+/// Wait for any one request to complete; returns its Status and stores its
+/// position in `index`. All requests must belong to the calling process.
+/// Invalid handles are skipped; throws when every handle is invalid.
+Status wait_any(std::span<Request> reqs, std::size_t* index);
+
+/// Non-blocking variant: true when some request has completed (its index
+/// and status returned as for wait_any).
+bool test_any(std::span<Request> reqs, std::size_t* index, Status* st = nullptr);
+
+}  // namespace mpl

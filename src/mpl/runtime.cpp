@@ -1,0 +1,87 @@
+#include "mpl/runtime.hpp"
+
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "mpl/comm.hpp"
+#include "mpl/comm_state.hpp"
+#include "mpl/error.hpp"
+#include "mpl/proc.hpp"
+#include "mpl/runtime_state.hpp"
+
+namespace mpl {
+
+namespace {
+thread_local Proc* tls_proc = nullptr;
+}
+
+Proc* this_proc() noexcept { return tls_proc; }
+
+namespace detail {
+
+void RuntimeState::publish_comm(const std::shared_ptr<CommState>& st) {
+  std::lock_guard<std::mutex> lock(comm_mtx_);
+  published_.emplace(st->ctx, st);
+}
+
+std::shared_ptr<CommState> RuntimeState::lookup_comm(std::uint64_t ctx) {
+  std::lock_guard<std::mutex> lock(comm_mtx_);
+  auto it = published_.find(ctx);
+  MPL_REQUIRE(it != published_.end(), "internal: unknown communicator context");
+  return it->second;
+}
+
+}  // namespace detail
+
+void run(int nprocs, const std::function<void(Comm&)>& fn,
+         const RunOptions& opts) {
+  MPL_REQUIRE(nprocs > 0, "run: need at least one process");
+  MPL_REQUIRE(tls_proc == nullptr, "run: nested mpl::run is not supported");
+
+  detail::RuntimeState rt;
+  rt.net = opts.net;
+  rt.procs.reserve(static_cast<std::size_t>(nprocs));
+  for (int r = 0; r < nprocs; ++r) {
+    auto p = std::make_unique<Proc>();
+    p->init(r, nprocs, &rt);
+    p->clock().configure(opts.net, r);
+    p->mailbox().set_abort_flag(&rt.abort);
+    rt.procs.push_back(std::move(p));
+  }
+
+  auto world_state = std::make_shared<detail::CommState>();
+  world_state->ctx = 0;
+  world_state->rt = &rt;
+  world_state->oob = std::make_shared<detail::OobBarrier>(nprocs, &rt.abort);
+  for (auto& p : rt.procs) world_state->members.push_back(p.get());
+  rt.publish_comm(world_state);
+
+  std::mutex err_mtx;
+  std::exception_ptr first_error;
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(nprocs));
+  for (int r = 0; r < nprocs; ++r) {
+    threads.emplace_back([&, r] {
+      tls_proc = rt.procs[static_cast<std::size_t>(r)].get();
+      try {
+        Comm world = CommBuilder::make(world_state, r);
+        fn(world);
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> lock(err_mtx);
+          if (!first_error) first_error = std::current_exception();
+        }
+        // Wake every blocked process so the whole run can unwind.
+        rt.request_abort();
+      }
+      tls_proc = nullptr;
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace mpl

@@ -1,0 +1,24 @@
+// Runtime launcher: spawns p simulated processes (threads) and hands each
+// a world communicator, like mpirun + MPI_Init rolled into one call.
+#pragma once
+
+#include <functional>
+
+#include "mpl/netmodel.hpp"
+
+namespace mpl {
+
+class Comm;
+
+struct RunOptions {
+  /// Network cost model; off() means wall-clock mode.
+  NetConfig net = NetConfig::off();
+};
+
+/// Run `fn` on `nprocs` simulated processes. Each process receives its own
+/// world communicator handle. If any process throws, the runtime aborts all
+/// blocking waits and rethrows the first exception in the caller.
+void run(int nprocs, const std::function<void(Comm&)>& fn,
+         const RunOptions& opts = {});
+
+}  // namespace mpl

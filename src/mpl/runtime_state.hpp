@@ -1,0 +1,80 @@
+// Internal runtime state shared by all simulated processes of one run().
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <stdexcept>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "mpl/netmodel.hpp"
+#include "mpl/proc.hpp"
+
+namespace mpl::detail {
+
+struct CommState;
+
+struct RuntimeState {
+  std::vector<std::unique_ptr<Proc>> procs;
+  std::atomic<std::uint64_t> next_ctx{1};  // 0 is the world context
+  std::atomic<bool> abort{false};
+  NetConfig net;
+
+  Proc& proc(int world_rank) { return *procs[static_cast<std::size_t>(world_rank)]; }
+
+  void request_abort() {
+    abort.store(true, std::memory_order_relaxed);
+    for (auto& p : procs) p->mailbox().notify_abort();
+  }
+
+  /// Hand a freshly created communicator state to the other group members.
+  /// The leader publishes before announcing the context id, so lookups by
+  /// members that learned the id are guaranteed to succeed.
+  void publish_comm(const std::shared_ptr<CommState>& st);
+  std::shared_ptr<CommState> lookup_comm(std::uint64_t ctx);
+
+ private:
+  std::mutex comm_mtx_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<CommState>> published_;
+};
+
+/// Clock-neutral, sense-reversing barrier used for out-of-band
+/// synchronization (benchmark harness); never touches virtual clocks.
+/// Waits poll the runtime abort flag so a failing process cannot strand
+/// its peers inside a barrier.
+class OobBarrier {
+ public:
+  OobBarrier(int n, const std::atomic<bool>* abort_flag)
+      : count_(n), waiting_(0), abort_flag_(abort_flag) {}
+
+  void arrive_and_wait() {
+    using namespace std::chrono_literals;
+    std::unique_lock<std::mutex> lock(mtx_);
+    const bool sense = sense_;
+    if (++waiting_ == count_) {
+      waiting_ = 0;
+      sense_ = !sense_;
+      cv_.notify_all();
+      return;
+    }
+    while (!cv_.wait_for(lock, 50ms, [&] { return sense_ != sense; })) {
+      if (abort_flag_ && abort_flag_->load(std::memory_order_relaxed)) {
+        throw std::runtime_error("mpl: runtime aborted inside barrier");
+      }
+    }
+  }
+
+ private:
+  std::mutex mtx_;
+  std::condition_variable cv_;
+  int count_;
+  int waiting_;
+  bool sense_ = false;
+  const std::atomic<bool>* abort_flag_;
+};
+
+}  // namespace mpl::detail

@@ -1,0 +1,155 @@
+// Stencil application utilities: weighted stencil evaluation over a Field
+// using a cartcomm::Neighborhood as the stencil shape (offsets double as
+// both the communication pattern and the computational stencil, the
+// coupling the paper's introduction describes), plus the uniform block
+// decomposition that keeps all processes isomorphic.
+#pragma once
+
+#include "cartcomm/neighborhood.hpp"
+#include "mpl/error.hpp"
+#include "stencil/field.hpp"
+
+namespace stencil {
+
+/// Uniform block decomposition of a global grid over a process grid.
+/// Uniformity (global extents divisible by the process grid) is required:
+/// it is what keeps block sizes identical across processes, i.e. the
+/// counts-isomorphism the Cartesian collectives rely on.
+class Decomposition {
+ public:
+  Decomposition(std::vector<int> global, std::vector<int> proc_dims)
+      : global_(std::move(global)), procs_(std::move(proc_dims)) {
+    MPL_REQUIRE(global_.size() == procs_.size(),
+                "Decomposition: arity mismatch");
+    local_.resize(global_.size());
+    for (std::size_t k = 0; k < global_.size(); ++k) {
+      MPL_REQUIRE(procs_[k] >= 1 && global_[k] >= 1,
+                  "Decomposition: extents must be positive");
+      MPL_REQUIRE(global_[k] % procs_[k] == 0,
+                  "Decomposition: global extents must be divisible by the "
+                  "process grid (isomorphism requires uniform blocks)");
+      local_[k] = global_[k] / procs_[k];
+    }
+  }
+
+  [[nodiscard]] int ndims() const noexcept { return static_cast<int>(global_.size()); }
+  [[nodiscard]] std::span<const int> global() const noexcept { return global_; }
+  [[nodiscard]] std::span<const int> local() const noexcept { return local_; }
+  [[nodiscard]] std::span<const int> proc_dims() const noexcept { return procs_; }
+
+  /// Global coordinate of a local interior cell (0-based, no halo) on the
+  /// process at `proc_coords`.
+  [[nodiscard]] std::vector<int> global_of(std::span<const int> proc_coords,
+                                           std::span<const int> local_idx) const {
+    std::vector<int> g(global_.size());
+    for (std::size_t k = 0; k < g.size(); ++k) {
+      MPL_REQUIRE(local_idx[k] >= 0 && local_idx[k] < local_[k],
+                  "global_of: local index out of range");
+      g[k] = proc_coords[k] * local_[k] + local_idx[k];
+    }
+    return g;
+  }
+
+  /// Process-grid coordinates owning a global cell.
+  [[nodiscard]] std::vector<int> owner(std::span<const int> global_idx) const {
+    std::vector<int> p(global_.size());
+    for (std::size_t k = 0; k < p.size(); ++k) {
+      MPL_REQUIRE(global_idx[k] >= 0 && global_idx[k] < global_[k],
+                  "owner: global index out of range");
+      p[k] = global_idx[k] / local_[k];
+    }
+    return p;
+  }
+
+  /// Local interior coordinate of a global cell on its owner.
+  [[nodiscard]] std::vector<int> local_of(std::span<const int> global_idx) const {
+    std::vector<int> l(global_.size());
+    for (std::size_t k = 0; k < l.size(); ++k) {
+      l[k] = global_idx[k] % local_[k];
+    }
+    return l;
+  }
+
+ private:
+  std::vector<int> global_;
+  std::vector<int> procs_;
+  std::vector<int> local_;
+};
+
+/// out(x) = sum over neighbors i of weights[i] * in(x + N[i]) for every
+/// interior cell x. The halo of `in` must already be current (exchange
+/// first) and deep enough for the widest offset. `in` and `out` must have
+/// identical geometry; aliasing is not allowed.
+template <typename T>
+void apply_stencil(const Field<T>& in, Field<T>& out,
+                   const cartcomm::Neighborhood& nb,
+                   std::span<const T> weights) {
+  const int d = in.ndims();
+  MPL_REQUIRE(nb.ndims() == d, "apply_stencil: stencil arity mismatch");
+  MPL_REQUIRE(weights.size() == static_cast<std::size_t>(nb.count()),
+              "apply_stencil: one weight per stencil point required");
+  MPL_REQUIRE(&in != static_cast<const void*>(&out),
+              "apply_stencil: in and out must not alias");
+  for (int k = 0; k < d; ++k) {
+    MPL_REQUIRE(out.interior()[static_cast<std::size_t>(k)] ==
+                    in.interior()[static_cast<std::size_t>(k)],
+                "apply_stencil: geometry mismatch");
+    for (int i = 0; i < nb.count(); ++i) {
+      MPL_REQUIRE(std::abs(nb.coord(i, k)) <= in.halo(),
+                  "apply_stencil: stencil offset exceeds the halo depth");
+    }
+  }
+
+  const int h = in.halo();
+  std::vector<int> idx(static_cast<std::size_t>(d), h);
+  std::vector<int> nidx(static_cast<std::size_t>(d));
+  // Precompute linear strides to turn offsets into linear displacements.
+  std::vector<std::ptrdiff_t> displ(static_cast<std::size_t>(nb.count()), 0);
+  {
+    std::vector<std::ptrdiff_t> stride(static_cast<std::size_t>(d), 1);
+    for (int k = d - 2; k >= 0; --k) {
+      stride[static_cast<std::size_t>(k)] =
+          stride[static_cast<std::size_t>(k + 1)] *
+          in.padded()[static_cast<std::size_t>(k + 1)];
+    }
+    for (int i = 0; i < nb.count(); ++i) {
+      for (int k = 0; k < d; ++k) {
+        displ[static_cast<std::size_t>(i)] +=
+            stride[static_cast<std::size_t>(k)] * nb.coord(i, k);
+      }
+    }
+  }
+
+  // Odometer over the interior.
+  while (true) {
+    const std::size_t base = in.linear(idx);
+    T acc{};
+    for (int i = 0; i < nb.count(); ++i) {
+      acc += weights[static_cast<std::size_t>(i)] *
+             in.data()[static_cast<std::size_t>(
+                 static_cast<std::ptrdiff_t>(base) + displ[static_cast<std::size_t>(i)])];
+    }
+    out.data()[base] = acc;
+
+    int k = d - 1;
+    while (k >= 0 &&
+           idx[static_cast<std::size_t>(k)] + 1 >=
+               h + in.interior()[static_cast<std::size_t>(k)]) {
+      idx[static_cast<std::size_t>(k)] = h;
+      --k;
+    }
+    if (k < 0) break;
+    ++idx[static_cast<std::size_t>(k)];
+  }
+}
+
+/// Convenience overload (template deduction does not see through
+/// vector-to-span conversion).
+template <typename T>
+void apply_stencil(const Field<T>& in, Field<T>& out,
+                   const cartcomm::Neighborhood& nb,
+                   const std::vector<T>& weights) {
+  apply_stencil(in, out, nb, std::span<const T>(weights));
+}
+
+}  // namespace stencil

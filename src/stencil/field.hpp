@@ -1,0 +1,90 @@
+// Local d-dimensional field with ghost (halo) layers — the data structure
+// stencil applications exchange halos on (the `matrix[n+2][n+2]` of
+// Listing 3, generalized to any dimension, halo depth and element type).
+#pragma once
+
+#include <cstddef>
+#include <numeric>
+#include <span>
+#include <vector>
+
+#include "mpl/datatype.hpp"
+#include "mpl/error.hpp"
+
+namespace stencil {
+
+/// Derived datatype selecting the axis-aligned box [lo, hi) of a row-major
+/// array with the given padded extents; displacements are relative to the
+/// array base. The element type must be dense (size == extent).
+mpl::Datatype box_type(std::span<const int> padded, std::span<const int> lo,
+                       std::span<const int> hi, const mpl::Datatype& elem);
+
+/// Row-major local array with `halo` ghost layers on every side. Indexing
+/// uses padded coordinates: interior cells live at [halo, halo+interior_k).
+template <typename T>
+class Field {
+ public:
+  Field(std::vector<int> interior, int halo)
+      : interior_(std::move(interior)), halo_(halo) {
+    MPL_REQUIRE(!interior_.empty(), "Field: need at least one dimension");
+    MPL_REQUIRE(halo >= 0, "Field: negative halo depth");
+    std::size_t n = 1;
+    padded_.reserve(interior_.size());
+    for (int e : interior_) {
+      MPL_REQUIRE(e >= 1, "Field: interior extents must be positive");
+      padded_.push_back(e + 2 * halo);
+      n *= static_cast<std::size_t>(e + 2 * halo);
+    }
+    data_.assign(n, T{});
+  }
+
+  [[nodiscard]] int ndims() const noexcept {
+    return static_cast<int>(interior_.size());
+  }
+  [[nodiscard]] int halo() const noexcept { return halo_; }
+  [[nodiscard]] std::span<const int> interior() const noexcept {
+    return interior_;
+  }
+  [[nodiscard]] std::span<const int> padded() const noexcept { return padded_; }
+
+  [[nodiscard]] std::size_t size() const noexcept { return data_.size(); }
+  [[nodiscard]] T* data() noexcept { return data_.data(); }
+  [[nodiscard]] const T* data() const noexcept { return data_.data(); }
+
+  /// Linear index of a padded coordinate (row-major, last dim fastest).
+  [[nodiscard]] std::size_t linear(std::span<const int> idx) const {
+    std::size_t l = 0;
+    for (std::size_t k = 0; k < padded_.size(); ++k) {
+      l = l * static_cast<std::size_t>(padded_[k]) + static_cast<std::size_t>(idx[k]);
+    }
+    return l;
+  }
+
+  [[nodiscard]] T& at(std::span<const int> idx) { return data_[linear(idx)]; }
+  [[nodiscard]] const T& at(std::span<const int> idx) const {
+    return data_[linear(idx)];
+  }
+
+  /// Convenience 2-D access in padded coordinates.
+  [[nodiscard]] T& at(int i, int j) {
+    return data_[static_cast<std::size_t>(i) * static_cast<std::size_t>(padded_[1]) +
+                 static_cast<std::size_t>(j)];
+  }
+  [[nodiscard]] const T& at(int i, int j) const {
+    return const_cast<Field*>(this)->at(i, j);
+  }
+
+  /// Datatype for the box [lo, hi) in padded coordinates.
+  [[nodiscard]] mpl::Datatype box(std::span<const int> lo,
+                                  std::span<const int> hi) const {
+    return box_type(padded_, lo, hi, mpl::Datatype::of<T>());
+  }
+
+ private:
+  std::vector<int> interior_;
+  std::vector<int> padded_;
+  int halo_;
+  std::vector<T> data_;
+};
+
+}  // namespace stencil

@@ -1,0 +1,181 @@
+// Correctness of the Cartesian allgather (Algorithm 2) and its tree
+// schedule structure (Proposition 3.3).
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+#include "cart_test_util.hpp"
+
+using cartcomm::Algorithm;
+using cartcomm::DimOrder;
+using cartcomm::Neighborhood;
+using carttest::check_allgather;
+
+namespace {
+const std::vector<int> kNoPeriods;
+}
+
+TEST(CartAllgather, Moore2DTrivial) {
+  check_allgather({3, 4}, kNoPeriods, Neighborhood::stencil(2, 3, -1), 3,
+                  Algorithm::trivial);
+}
+
+TEST(CartAllgather, Moore2DCombining) {
+  check_allgather({3, 4}, kNoPeriods, Neighborhood::stencil(2, 3, -1), 3,
+                  Algorithm::combining);
+}
+
+TEST(CartAllgather, Moore3DCombining) {
+  check_allgather({3, 2, 4}, kNoPeriods, Neighborhood::stencil(3, 3, -1), 2,
+                  Algorithm::combining);
+}
+
+TEST(CartAllgather, Asymmetric) {
+  check_allgather({4, 5}, kNoPeriods, Neighborhood::stencil(2, 4, -1), 2,
+                  Algorithm::combining);
+}
+
+TEST(CartAllgather, Figure2Neighborhood) {
+  // The 4-neighborhood of Figure 2 under every dimension order.
+  const Neighborhood nb(3, {-2, 1, 1, -1, 1, 1, 1, 1, 1, 2, 1, 1});
+  for (const char* order : {"natural", "increasing_ck", "decreasing_ck"}) {
+    check_allgather({5, 3, 3}, kNoPeriods, nb, 2, Algorithm::combining,
+                    {{"allgather_order", order}});
+  }
+}
+
+TEST(CartAllgather, RepeatedOffsetsNeedLocalCopies) {
+  // Duplicate vectors: the block is received once and fanned out locally.
+  const Neighborhood nb(2, {1, 1, 1, 1, 0, 0, 0, 0, -1, 2, -1, 2});
+  check_allgather({3, 3}, kNoPeriods, nb, 3, Algorithm::combining);
+}
+
+TEST(CartAllgather, TrailingZeroCoordinates) {
+  // Vectors like (1,0): terminate before the last dimension.
+  const Neighborhood nb(2, {1, 0, 0, 1, 1, 1, -1, 0, 0, -1});
+  check_allgather({3, 3}, kNoPeriods, nb, 2, Algorithm::combining);
+}
+
+TEST(CartAllgather, OffsetsWrapSmallTorus) {
+  const Neighborhood nb(2, {3, 0, -4, 1, 5, 5, 0, -7});
+  check_allgather({3, 2}, kNoPeriods, nb, 4, Algorithm::combining);
+}
+
+TEST(CartAllgather, SingleProcessTorus) {
+  check_allgather({1, 1}, kNoPeriods, Neighborhood::stencil(2, 3, -1), 2,
+                  Algorithm::combining);
+}
+
+TEST(CartAllgather, CombiningMatchesTrivial) {
+  mpl::run(12, [](mpl::Comm& world) {
+    const std::vector<int> dims{3, 4};
+    const Neighborhood nb = Neighborhood::stencil(2, 5, -1);
+    auto cc = cartcomm::cart_neighborhood_create(world, dims, {}, nb);
+    const int t = nb.count();
+    const int m = 6;
+    std::vector<long long> sb(static_cast<std::size_t>(m));
+    for (int e = 0; e < m; ++e) sb[static_cast<std::size_t>(e)] =
+        world.rank() * 1000LL + e;
+    std::vector<long long> r1(static_cast<std::size_t>(t) * m, -1);
+    std::vector<long long> r2(static_cast<std::size_t>(t) * m, -2);
+    cartcomm::allgather(sb.data(), m, mpl::Datatype::of<long long>(), r1.data(),
+                        m, mpl::Datatype::of<long long>(), cc,
+                        Algorithm::trivial);
+    cartcomm::allgather(sb.data(), m, mpl::Datatype::of<long long>(), r2.data(),
+                        m, mpl::Datatype::of<long long>(), cc,
+                        Algorithm::combining);
+    EXPECT_EQ(r1, r2);
+  });
+}
+
+TEST(CartAllgatherSchedule, StructureMatchesProposition33) {
+  mpl::run(8, [](mpl::Comm& world) {
+    const std::vector<int> dims{2, 2, 2};
+    const Neighborhood nb = Neighborhood::stencil(3, 3, -1);
+    auto cc = cartcomm::cart_neighborhood_create(world, dims, {}, nb);
+    const int t = nb.count();
+    std::vector<int> sb(1), rb(static_cast<std::size_t>(t));
+    auto op = cartcomm::allgather_init(sb.data(), 1, mpl::Datatype::of<int>(),
+                                       rb.data(), 1, mpl::Datatype::of<int>(),
+                                       cc, Algorithm::combining);
+    const cartcomm::Schedule& s = op.schedule();
+    EXPECT_EQ(s.phases(), 3);             // d phases
+    EXPECT_EQ(s.rounds(), 6);             // C = d(n-1)
+    EXPECT_EQ(s.send_block_count(), 26);  // V = n^d - 1 (tree edges)
+    // Every duplicate/zero-vector member is a local copy; here only the
+    // zero vector (copied from the send buffer).
+    EXPECT_EQ(s.copy_count(), 1);
+  });
+}
+
+TEST(CartAllgatherSchedule, DimensionOrderChangesVolume) {
+  mpl::run(8, [](mpl::Comm& world) {
+    const std::vector<int> dims{4, 2, 1};
+    const Neighborhood nb(3, {-2, 1, 1, -1, 1, 1, 1, 1, 1, 2, 1, 1});
+    std::vector<int> sb(1), rb(4);
+    auto cc_good = cartcomm::cart_neighborhood_create(
+        world, dims, {}, nb, {}, {{"allgather_order", "increasing_ck"}});
+    auto cc_bad = cartcomm::cart_neighborhood_create(
+        world, dims, {}, nb, {}, {{"allgather_order", "natural"}});
+    auto good = cartcomm::allgather_init(sb.data(), 1, mpl::Datatype::of<int>(),
+                                         rb.data(), 1, mpl::Datatype::of<int>(),
+                                         cc_good, Algorithm::combining);
+    auto bad = cartcomm::allgather_init(sb.data(), 1, mpl::Datatype::of<int>(),
+                                        rb.data(), 1, mpl::Datatype::of<int>(),
+                                        cc_bad, Algorithm::combining);
+    EXPECT_EQ(good.schedule().send_block_count(), 6);   // Figure 2, right tree
+    EXPECT_EQ(bad.schedule().send_block_count(), 12);   // Figure 2, left tree
+    EXPECT_EQ(good.schedule().rounds(), bad.schedule().rounds());
+  });
+}
+
+TEST(CartAllgather, AutomaticPicksCombiningForStencils) {
+  mpl::run(4, [](mpl::Comm& world) {
+    const std::vector<int> dims{2, 2};
+    auto cc = cartcomm::cart_neighborhood_create(world, dims, {},
+                                                 Neighborhood::moore(2));
+    std::vector<int> sb(1), rb(9);
+    auto op = cartcomm::allgather_init(sb.data(), 1, mpl::Datatype::of<int>(),
+                                       rb.data(), 1, mpl::Datatype::of<int>(),
+                                       cc, Algorithm::automatic);
+    EXPECT_EQ(op.algorithm(), Algorithm::combining);
+  });
+}
+
+// -- randomized ---------------------------------------------------------------
+
+struct RandomCase {
+  unsigned seed;
+  int d;
+};
+
+class CartAllgatherRandom : public ::testing::TestWithParam<RandomCase> {};
+
+TEST_P(CartAllgatherRandom, OracleAgreement) {
+  const auto [seed, d] = GetParam();
+  std::mt19937 rng(seed + 1000);
+  std::uniform_int_distribution<int> dim_dist(2, 4);
+  std::uniform_int_distribution<int> off_dist(-3, 3);
+  std::uniform_int_distribution<int> t_dist(1, 12);
+  std::uniform_int_distribution<int> m_dist(1, 5);
+
+  std::vector<int> dims(static_cast<std::size_t>(d));
+  for (auto& x : dims) x = dim_dist(rng);
+  const int t = t_dist(rng);
+  std::vector<int> flat;
+  for (int i = 0; i < t * d; ++i) flat.push_back(off_dist(rng));
+  const Neighborhood nb(d, std::move(flat));
+  const int m = m_dist(rng);
+
+  check_allgather(dims, kNoPeriods, nb, m, Algorithm::combining);
+  check_allgather(dims, kNoPeriods, nb, m, Algorithm::trivial);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, CartAllgatherRandom,
+                         ::testing::Values(RandomCase{1, 2}, RandomCase{2, 2},
+                                           RandomCase{3, 2}, RandomCase{4, 3},
+                                           RandomCase{5, 3}, RandomCase{6, 3},
+                                           RandomCase{7, 4}, RandomCase{8, 4},
+                                           RandomCase{9, 1}, RandomCase{10, 1},
+                                           RandomCase{11, 5}, RandomCase{12, 5}));

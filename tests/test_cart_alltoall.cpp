@@ -1,0 +1,230 @@
+// Correctness of the Cartesian alltoall: trivial and message-combining
+// algorithms against an analytic oracle, schedule structure against
+// Proposition 3.2, randomized isomorphic neighborhoods.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+#include "cart_test_util.hpp"
+
+using cartcomm::Algorithm;
+using cartcomm::Neighborhood;
+using carttest::check_alltoall;
+
+namespace {
+const std::vector<int> kNoPeriods;  // default: fully periodic (torus)
+}
+
+TEST(CartAlltoall, Moore2DTrivial) {
+  check_alltoall({3, 4}, kNoPeriods, Neighborhood::stencil(2, 3, -1), 3,
+                 Algorithm::trivial);
+}
+
+TEST(CartAlltoall, Moore2DCombining) {
+  check_alltoall({3, 4}, kNoPeriods, Neighborhood::stencil(2, 3, -1), 3,
+                 Algorithm::combining);
+}
+
+TEST(CartAlltoall, Moore3DCombining) {
+  check_alltoall({3, 2, 4}, kNoPeriods, Neighborhood::stencil(3, 3, -1), 2,
+                 Algorithm::combining);
+}
+
+TEST(CartAlltoall, Asymmetric4Neighbors) {
+  // n=4, f=-1: offsets {-1,0,1,2} — the paper's asymmetric configuration.
+  check_alltoall({4, 5}, kNoPeriods, Neighborhood::stencil(2, 4, -1), 2,
+                 Algorithm::combining);
+}
+
+TEST(CartAlltoall, OffsetsLargerThanDims) {
+  // Offsets wrap multiple times around a small torus; multiple target
+  // vectors collapse onto the same process.
+  Neighborhood nb(2, {3, 0, -4, 1, 5, 5, 0, -7});
+  check_alltoall({3, 2}, kNoPeriods, nb, 4, Algorithm::combining);
+  check_alltoall({3, 2}, kNoPeriods, nb, 4, Algorithm::trivial);
+}
+
+TEST(CartAlltoall, RepeatedOffsets) {
+  Neighborhood nb(2, {1, 1, 1, 1, -1, 0, 1, 1});
+  check_alltoall({3, 3}, kNoPeriods, nb, 2, Algorithm::combining);
+  check_alltoall({3, 3}, kNoPeriods, nb, 2, Algorithm::trivial);
+}
+
+TEST(CartAlltoall, ZeroVectorOnly) {
+  Neighborhood nb(2, {0, 0});
+  check_alltoall({2, 2}, kNoPeriods, nb, 5, Algorithm::combining);
+}
+
+TEST(CartAlltoall, EmptyNeighborhood) {
+  Neighborhood nb(2, {});
+  check_alltoall({2, 2}, kNoPeriods, nb, 1, Algorithm::combining);
+}
+
+TEST(CartAlltoall, SingleProcessTorus) {
+  // Everything wraps to self.
+  check_alltoall({1, 1}, kNoPeriods, Neighborhood::stencil(2, 3, -1), 2,
+                 Algorithm::combining);
+}
+
+TEST(CartAlltoall, OneDimensionalRing) {
+  check_alltoall({6}, kNoPeriods, Neighborhood(1, {-2, -1, 0, 1, 2}), 3,
+                 Algorithm::combining);
+}
+
+TEST(CartAlltoall, AutomaticSmallBlocksPicksCombining) {
+  mpl::RunOptions opts;
+  opts.net = mpl::NetConfig::omnipath();
+  mpl::run(
+      8,
+      [](mpl::Comm& world) {
+        const std::vector<int> dims{2, 4};
+        auto cc = cartcomm::cart_neighborhood_create(
+            world, dims, {}, Neighborhood::stencil(2, 3, -1));
+        auto op = cartcomm::alltoall_init(nullptr, 0, mpl::Datatype::of<int>(),
+                                          nullptr, 0, mpl::Datatype::of<int>(),
+                                          cc, Algorithm::automatic);
+        EXPECT_EQ(op.algorithm(), Algorithm::combining);
+      },
+      opts);
+}
+
+TEST(CartAlltoall, AutomaticHugeBlocksPicksTrivial) {
+  mpl::RunOptions opts;
+  opts.net = mpl::NetConfig::omnipath();
+  mpl::run(
+      4,
+      [](mpl::Comm& world) {
+        const std::vector<int> dims{2, 2};
+        auto cc = cartcomm::cart_neighborhood_create(
+            world, dims, {}, Neighborhood::stencil(2, 3, -1));
+        std::vector<int> dummy(9 * (1 << 20));
+        auto op = cartcomm::alltoall_init(
+            dummy.data(), 1 << 20, mpl::Datatype::of<int>(), dummy.data(),
+            1 << 20, mpl::Datatype::of<int>(), cc, Algorithm::automatic);
+        EXPECT_EQ(op.algorithm(), Algorithm::trivial);
+      },
+      opts);
+}
+
+TEST(CartAlltoallSchedule, StructureMatchesProposition32) {
+  mpl::run(8, [](mpl::Comm& world) {
+    const std::vector<int> dims{2, 2, 2};
+    const Neighborhood nb = Neighborhood::stencil(3, 3, -1);
+    auto cc = cartcomm::cart_neighborhood_create(world, dims, {}, nb);
+    const int t = nb.count();
+    std::vector<int> sb(static_cast<std::size_t>(t)), rb(static_cast<std::size_t>(t));
+    auto op = cartcomm::alltoall_init(sb.data(), 1, mpl::Datatype::of<int>(),
+                                      rb.data(), 1, mpl::Datatype::of<int>(),
+                                      cc, Algorithm::combining);
+    const cartcomm::Schedule& s = op.schedule();
+    EXPECT_EQ(s.phases(), 3);                 // d communication phases
+    EXPECT_EQ(s.rounds(), 6);                 // C = d(n-1)
+    EXPECT_EQ(s.send_block_count(), 54);      // V = sum z_i
+    EXPECT_EQ(s.copy_count(), 1);             // the zero vector
+    for (int ph : s.phase_rounds()) EXPECT_EQ(ph, 2);  // C_k = n-1
+    // Volume in bytes: V * m.
+    EXPECT_EQ(s.send_bytes(), 54 * static_cast<long long>(sizeof(int)));
+  });
+}
+
+TEST(CartAlltoallSchedule, TempBufferOnlyForMultiHopBlocks) {
+  mpl::run(4, [](mpl::Comm& world) {
+    const std::vector<int> dims{2, 2};
+    // Von Neumann: all blocks single-hop — no temp space needed.
+    const Neighborhood nb = Neighborhood::von_neumann(2);
+    auto cc = cartcomm::cart_neighborhood_create(world, dims, {}, nb);
+    std::vector<int> sb(4), rb(4);
+    auto op = cartcomm::alltoall_init(sb.data(), 1, mpl::Datatype::of<int>(),
+                                      rb.data(), 1, mpl::Datatype::of<int>(),
+                                      cc, Algorithm::combining);
+    EXPECT_EQ(op.schedule().temp_bytes(), 0u);
+  });
+}
+
+TEST(CartAlltoall, CombiningMatchesTrivialElementwise) {
+  // Same inputs through both algorithms must agree bit for bit.
+  mpl::run(12, [](mpl::Comm& world) {
+    const std::vector<int> dims{3, 4};
+    const Neighborhood nb = Neighborhood::stencil(2, 4, -1);
+    auto cc = cartcomm::cart_neighborhood_create(world, dims, {}, nb);
+    const int t = nb.count();
+    const int m = 7;
+    std::vector<double> sb(static_cast<std::size_t>(t) * m);
+    for (std::size_t j = 0; j < sb.size(); ++j) {
+      sb[j] = world.rank() * 1000.0 + static_cast<double>(j) * 0.5;
+    }
+    std::vector<double> r1(sb.size(), -1), r2(sb.size(), -2);
+    cartcomm::alltoall(sb.data(), m, mpl::Datatype::of<double>(), r1.data(), m,
+                       mpl::Datatype::of<double>(), cc, Algorithm::trivial);
+    cartcomm::alltoall(sb.data(), m, mpl::Datatype::of<double>(), r2.data(), m,
+                       mpl::Datatype::of<double>(), cc, Algorithm::combining);
+    EXPECT_EQ(r1, r2);
+  });
+}
+
+TEST(CartAlltoall, MatchesNeighborAlltoallBaseline) {
+  // The Cartesian operation implements exactly the pattern of the MPI
+  // neighborhood collective on the equivalent distributed graph.
+  mpl::run(9, [](mpl::Comm& world) {
+    const std::vector<int> dims{3, 3};
+    const Neighborhood nb = Neighborhood::moore(2);
+    auto cc = cartcomm::cart_neighborhood_create(world, dims, {}, nb);
+    mpl::DistGraphComm g = cc.to_dist_graph();
+    const int t = nb.count();
+    const int m = 3;
+    std::vector<int> sb(static_cast<std::size_t>(t) * m);
+    for (std::size_t j = 0; j < sb.size(); ++j) {
+      sb[j] = world.rank() * 100 + static_cast<int>(j);
+    }
+    std::vector<int> r1(sb.size(), -1), r2(sb.size(), -2);
+    cartcomm::alltoall(sb.data(), m, mpl::Datatype::of<int>(), r1.data(), m,
+                       mpl::Datatype::of<int>(), cc, Algorithm::combining);
+    mpl::neighbor_alltoall(sb.data(), m, mpl::Datatype::of<int>(), r2.data(), m,
+                           mpl::Datatype::of<int>(), g);
+    EXPECT_EQ(r1, r2);
+  });
+}
+
+// -- randomized isomorphic neighborhoods --------------------------------------
+
+struct RandomCase {
+  unsigned seed;
+  int d;
+};
+
+class CartAlltoallRandom : public ::testing::TestWithParam<RandomCase> {};
+
+TEST_P(CartAlltoallRandom, OracleAgreement) {
+  const auto [seed, d] = GetParam();
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<int> dim_dist(2, 4);
+  std::uniform_int_distribution<int> off_dist(-3, 3);
+  std::uniform_int_distribution<int> t_dist(1, 10);
+  std::uniform_int_distribution<int> m_dist(1, 5);
+
+  std::vector<int> dims(static_cast<std::size_t>(d));
+  for (auto& x : dims) x = dim_dist(rng);
+  const int t = t_dist(rng);
+  std::vector<int> flat;
+  for (int i = 0; i < t * d; ++i) flat.push_back(off_dist(rng));
+  const Neighborhood nb(d, std::move(flat));
+  const int m = m_dist(rng);
+
+  check_alltoall(dims, kNoPeriods, nb, m, Algorithm::combining);
+  check_alltoall(dims, kNoPeriods, nb, m, Algorithm::trivial);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, CartAlltoallRandom,
+                         ::testing::Values(RandomCase{1, 2}, RandomCase{2, 2},
+                                           RandomCase{3, 2}, RandomCase{4, 3},
+                                           RandomCase{5, 3}, RandomCase{6, 3},
+                                           RandomCase{7, 4}, RandomCase{8, 4},
+                                           RandomCase{9, 1}, RandomCase{10, 1},
+                                           RandomCase{11, 5}, RandomCase{12, 5}));
+
+TEST(CartAlltoall, LargeMooreD4) {
+  // d=4, n=3: t=81 neighbors on a 16-process torus.
+  check_alltoall({2, 2, 2, 2}, kNoPeriods, Neighborhood::stencil(4, 3, -1), 2,
+                 Algorithm::combining);
+}

@@ -1,0 +1,254 @@
+// Irregular Cartesian collectives (Section 3.3): v and w variants, with
+// per-neighbor sizes, displacements and datatypes.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "cart_test_util.hpp"
+
+using cartcomm::Algorithm;
+using cartcomm::Neighborhood;
+
+namespace {
+
+const mpl::Datatype kInt = mpl::Datatype::of<int>();
+
+// The paper's Fig. 6 irregular sizing: block size m*(d - z) for a vector
+// with z non-zeros, 0 for the self block.
+std::vector<int> fig6_counts(const Neighborhood& nb, int m) {
+  std::vector<int> counts(static_cast<std::size_t>(nb.count()));
+  for (int i = 0; i < nb.count(); ++i) {
+    const int z = nb.nonzeros(i);
+    counts[static_cast<std::size_t>(i)] = z == 0 ? 0 : m * (nb.ndims() - z);
+  }
+  return counts;
+}
+
+void check_alltoallv(const std::vector<int>& dims, const Neighborhood& nb,
+                     const std::vector<int>& counts, Algorithm alg) {
+  mpl::run(carttest::product(dims), [&](mpl::Comm& world) {
+    auto cc = cartcomm::cart_neighborhood_create(world, dims, {}, nb);
+    const int t = nb.count();
+    std::vector<int> displs(static_cast<std::size_t>(t));
+    int total = 0;
+    for (int i = 0; i < t; ++i) {
+      displs[static_cast<std::size_t>(i)] = total;
+      total += counts[static_cast<std::size_t>(i)];
+    }
+    std::vector<int> sb(static_cast<std::size_t>(total));
+    std::vector<int> rb(static_cast<std::size_t>(total), -777);
+    for (int i = 0; i < t; ++i) {
+      for (int e = 0; e < counts[static_cast<std::size_t>(i)]; ++e) {
+        sb[static_cast<std::size_t>(displs[static_cast<std::size_t>(i)] + e)] =
+            carttest::pattern(world.rank(), i, e);
+      }
+    }
+    cartcomm::alltoallv(sb.data(), counts, displs, kInt, rb.data(), counts,
+                        displs, kInt, cc, alg);
+    for (int i = 0; i < t; ++i) {
+      const int src = cc.source_ranks()[static_cast<std::size_t>(i)];
+      for (int e = 0; e < counts[static_cast<std::size_t>(i)]; ++e) {
+        ASSERT_EQ(rb[static_cast<std::size_t>(displs[static_cast<std::size_t>(i)] + e)],
+                  carttest::pattern(src, i, e))
+            << "rank " << world.rank() << " block " << i << " elem " << e;
+      }
+    }
+  });
+}
+
+}  // namespace
+
+TEST(CartAlltoallv, Fig6SizingCombining) {
+  const Neighborhood nb = Neighborhood::stencil(3, 3, -1);
+  check_alltoallv({2, 3, 2}, nb, fig6_counts(nb, 2), Algorithm::combining);
+}
+
+TEST(CartAlltoallv, Fig6SizingTrivial) {
+  const Neighborhood nb = Neighborhood::stencil(3, 3, -1);
+  check_alltoallv({2, 3, 2}, nb, fig6_counts(nb, 2), Algorithm::trivial);
+}
+
+TEST(CartAlltoallv, ZeroSizedBlocksEverywhere) {
+  const Neighborhood nb = Neighborhood::moore(2);
+  std::vector<int> counts(9, 0);
+  counts[1] = 3;  // a single non-empty block
+  check_alltoallv({3, 3}, nb, counts, Algorithm::combining);
+}
+
+TEST(CartAlltoallv, RaggedByIndex) {
+  const Neighborhood nb = Neighborhood::stencil(2, 3, -1);
+  std::vector<int> counts{1, 2, 3, 4, 5, 6, 7, 8, 9};
+  check_alltoallv({3, 4}, nb, counts, Algorithm::combining);
+  check_alltoallv({3, 4}, nb, counts, Algorithm::trivial);
+}
+
+TEST(CartAlltoallw, StridedColumnBlocks) {
+  // Send columns of a local matrix (vector types), receive rows
+  // (contiguous): per-neighbor datatypes on both sides.
+  mpl::run(9, [](mpl::Comm& world) {
+    const std::vector<int> dims{3, 3};
+    const Neighborhood nb = Neighborhood::von_neumann(2);
+    auto cc = cartcomm::cart_neighborhood_create(world, dims, {}, nb);
+    constexpr int N = 4;
+    std::vector<int> matrix(N * N);
+    std::iota(matrix.begin(), matrix.end(), world.rank() * 1000);
+    std::vector<int> rb(4u * N, -1);
+
+    const mpl::Datatype col = mpl::Datatype::vector(N, 1, N, kInt);
+    std::vector<int> scounts{1, 1, 1, 1};
+    std::vector<int> rcounts{N, N, N, N};
+    std::vector<std::ptrdiff_t> sdispls{0, static_cast<std::ptrdiff_t>(sizeof(int)),
+                                        2 * static_cast<std::ptrdiff_t>(sizeof(int)),
+                                        3 * static_cast<std::ptrdiff_t>(sizeof(int))};
+    std::vector<std::ptrdiff_t> rdispls;
+    for (int i = 0; i < 4; ++i) {
+      rdispls.push_back(static_cast<std::ptrdiff_t>(i) * N * static_cast<std::ptrdiff_t>(sizeof(int)));
+    }
+    std::vector<mpl::Datatype> stypes(4, col);
+    std::vector<mpl::Datatype> rtypes(4, kInt);
+
+    cartcomm::alltoallw(matrix.data(), scounts, sdispls, stypes, rb.data(),
+                        rcounts, rdispls, rtypes, cc, Algorithm::combining);
+
+    for (int i = 0; i < 4; ++i) {
+      const int src = cc.source_ranks()[static_cast<std::size_t>(i)];
+      for (int r = 0; r < N; ++r) {
+        EXPECT_EQ(rb[static_cast<std::size_t>(i * N + r)], src * 1000 + r * N + i)
+            << "block " << i << " row " << r;
+      }
+    }
+  });
+}
+
+TEST(CartAlltoallw, MixedElementTypes) {
+  // Different neighbors carry different element types (equal sizes).
+  mpl::run(4, [](mpl::Comm& world) {
+    const std::vector<int> dims{4};
+    const Neighborhood nb(1, {-1, 1});
+    auto cc = cartcomm::cart_neighborhood_create(world, dims, {}, nb);
+    double dval = world.rank() + 0.25;
+    std::int64_t ival = world.rank() * 7;
+    double din = -1;
+    std::int64_t iin = -1;
+    struct Buf {
+      double d;
+      std::int64_t i;
+    } sbuf{dval, ival}, rbuf{din, iin};
+
+    std::vector<int> counts{1, 1};
+    std::vector<std::ptrdiff_t> sdispls{offsetof(Buf, d), offsetof(Buf, i)};
+    std::vector<mpl::Datatype> types{mpl::Datatype::of<double>(),
+                                     mpl::Datatype::of<std::int64_t>()};
+    cartcomm::alltoallw(&sbuf, counts, sdispls, types, &rbuf, counts, sdispls,
+                        types, cc, Algorithm::combining);
+    const int left = (world.rank() + 3) % 4;
+    const int right = (world.rank() + 1) % 4;
+    // Block 0 has offset -1, so its source is the process at +1 (right);
+    // block 1 (offset +1) comes from the left.
+    EXPECT_DOUBLE_EQ(rbuf.d, right + 0.25);
+    EXPECT_EQ(rbuf.i, left * 7);
+  });
+}
+
+TEST(CartAllgatherv, DisplacedUniformBlocks) {
+  mpl::run(8, [](mpl::Comm& world) {
+    const std::vector<int> dims{2, 4};
+    const Neighborhood nb = Neighborhood::moore(2);
+    auto cc = cartcomm::cart_neighborhood_create(world, dims, {}, nb);
+    const int t = nb.count();
+    const int m = 3;
+    std::vector<int> sb(static_cast<std::size_t>(m));
+    for (int e = 0; e < m; ++e) sb[static_cast<std::size_t>(e)] =
+        carttest::ag_pattern(world.rank(), e);
+    // Reversed placement: block i lands at slot t-1-i.
+    std::vector<int> counts(static_cast<std::size_t>(t), m);
+    std::vector<int> displs(static_cast<std::size_t>(t));
+    for (int i = 0; i < t; ++i) displs[static_cast<std::size_t>(i)] = (t - 1 - i) * m;
+    std::vector<int> rb(static_cast<std::size_t>(t) * m, -1);
+    cartcomm::allgatherv(sb.data(), m, mpl::Datatype::of<int>(), rb.data(),
+                         counts, displs, mpl::Datatype::of<int>(), cc,
+                         Algorithm::combining);
+    for (int i = 0; i < t; ++i) {
+      const int src = cc.source_ranks()[static_cast<std::size_t>(i)];
+      for (int e = 0; e < m; ++e) {
+        EXPECT_EQ(rb[static_cast<std::size_t>((t - 1 - i) * m + e)],
+                  carttest::ag_pattern(src, e));
+      }
+    }
+  });
+}
+
+TEST(CartAllgatherw, ScatterIntoHaloLayout) {
+  // The paper's Cart_allgatherw: same-size blocks, per-source layouts.
+  mpl::run(4, [](mpl::Comm& world) {
+    const std::vector<int> dims{2, 2};
+    const Neighborhood nb = Neighborhood::von_neumann(2);
+    auto cc = cartcomm::cart_neighborhood_create(world, dims, {}, nb);
+    constexpr int N = 4;
+    constexpr int M = N - 2;  // block elements: interior strip length
+    const int sb[M] = {world.rank() * 10, world.rank() * 10 + 1};
+    std::vector<int> grid(N * N, -1);
+    // Non-overlapping halo strips: interiors of the top/bottom rows and of
+    // the left/right columns (different layout per source block).
+    const mpl::Datatype col = mpl::Datatype::vector(M, 1, N, kInt);
+    const mpl::Datatype row = mpl::Datatype::contiguous(M, kInt);
+    std::vector<int> counts{1, 1, 1, 1};
+    std::vector<std::ptrdiff_t> displs{
+        static_cast<std::ptrdiff_t>(1 * sizeof(int)),
+        static_cast<std::ptrdiff_t>(((N - 1) * N + 1) * sizeof(int)),
+        static_cast<std::ptrdiff_t>(N * sizeof(int)),
+        static_cast<std::ptrdiff_t>((2 * N - 1) * sizeof(int))};
+    std::vector<mpl::Datatype> types{row, row, col, col};
+    cartcomm::allgatherw(sb, M, kInt, grid.data(), counts, displs, types, cc,
+                         Algorithm::combining);
+    const int s0 = cc.source_ranks()[0];
+    const int s1 = cc.source_ranks()[1];
+    const int s2 = cc.source_ranks()[2];
+    const int s3 = cc.source_ranks()[3];
+    for (int j = 0; j < M; ++j) {
+      EXPECT_EQ(grid[static_cast<std::size_t>(1 + j)], s0 * 10 + j);
+      EXPECT_EQ(grid[static_cast<std::size_t>((N - 1) * N + 1 + j)], s1 * 10 + j);
+      EXPECT_EQ(grid[static_cast<std::size_t>((1 + j) * N)], s2 * 10 + j);
+      EXPECT_EQ(grid[static_cast<std::size_t>((1 + j) * N + N - 1)], s3 * 10 + j);
+    }
+    EXPECT_EQ(grid[0], -1);  // corners untouched
+  });
+}
+
+TEST(CartIrregular, SizeMismatchRejected) {
+  EXPECT_THROW(
+      mpl::run(4,
+               [](mpl::Comm& world) {
+                 const std::vector<int> dims{2, 2};
+                 const Neighborhood nb = Neighborhood::von_neumann(2);
+                 auto cc =
+                     cartcomm::cart_neighborhood_create(world, dims, {}, nb);
+                 std::vector<int> sb(8), rb(8);
+                 std::vector<int> scounts{2, 2, 2, 2}, rcounts{2, 2, 1, 2};
+                 std::vector<int> displs{0, 2, 4, 6};
+                 cartcomm::alltoallv(sb.data(), scounts, displs, kInt, rb.data(),
+                                     rcounts, displs, kInt, cc,
+                                     cartcomm::Algorithm::combining);
+               }),
+      mpl::Error);
+}
+
+TEST(CartAllgatherw, WrongBlockSizeRejected) {
+  EXPECT_THROW(
+      mpl::run(4,
+               [](mpl::Comm& world) {
+                 const std::vector<int> dims{2, 2};
+                 const Neighborhood nb = Neighborhood::von_neumann(2);
+                 auto cc =
+                     cartcomm::cart_neighborhood_create(world, dims, {}, nb);
+                 int sb[4];
+                 std::vector<int> rb(16);
+                 std::vector<int> counts{4, 4, 4, 3};  // last wrong
+                 std::vector<std::ptrdiff_t> displs{0, 16, 32, 48};
+                 std::vector<mpl::Datatype> types(4, kInt);
+                 cartcomm::allgatherw(sb, 4, kInt, rb.data(), counts, displs,
+                                      types, cc, cartcomm::Algorithm::combining);
+               }),
+      mpl::Error);
+}

@@ -1,0 +1,100 @@
+// Cartesian collectives on non-periodic meshes: PROC_NULL boundaries,
+// untouched receive slots, mixed periodicity. (The paper defines the
+// periodic case and leaves meshes as a detail; this library supports them
+// in both the trivial and the message-combining algorithms.)
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cart_test_util.hpp"
+
+using cartcomm::Algorithm;
+using cartcomm::Neighborhood;
+using carttest::check_allgather;
+using carttest::check_alltoall;
+
+TEST(NonPeriodic, Moore2DMeshAlltoall) {
+  const std::vector<int> periods{0, 0};
+  check_alltoall({3, 4}, periods, Neighborhood::moore(2), 3,
+                 Algorithm::combining);
+  check_alltoall({3, 4}, periods, Neighborhood::moore(2), 3, Algorithm::trivial);
+}
+
+TEST(NonPeriodic, Moore2DMeshAllgather) {
+  const std::vector<int> periods{0, 0};
+  check_allgather({3, 4}, periods, Neighborhood::moore(2), 3,
+                  Algorithm::combining);
+  check_allgather({3, 4}, periods, Neighborhood::moore(2), 3,
+                  Algorithm::trivial);
+}
+
+TEST(NonPeriodic, MixedPeriodicity) {
+  const std::vector<int> periods{1, 0};  // cylinder
+  check_alltoall({3, 3}, periods, Neighborhood::moore(2), 2,
+                 Algorithm::combining);
+  check_allgather({3, 3}, periods, Neighborhood::moore(2), 2,
+                  Algorithm::combining);
+}
+
+TEST(NonPeriodic, AsymmetricOffsetsOnMesh) {
+  // Offsets up to +2 fall off a size-4 mesh from the upper processes.
+  const std::vector<int> periods{0, 0};
+  check_alltoall({4, 4}, periods, Neighborhood::stencil(2, 4, -1), 2,
+                 Algorithm::combining);
+  check_allgather({4, 4}, periods, Neighborhood::stencil(2, 4, -1), 2,
+                  Algorithm::combining);
+}
+
+TEST(NonPeriodic, ThreeDimensionalMesh) {
+  const std::vector<int> periods{0, 0, 0};
+  check_alltoall({3, 2, 3}, periods, Neighborhood::stencil(3, 3, -1), 2,
+                 Algorithm::combining);
+  check_allgather({3, 2, 3}, periods, Neighborhood::stencil(3, 3, -1), 2,
+                  Algorithm::combining);
+}
+
+TEST(NonPeriodic, MultiHopBlockCrossingBoundaryPath) {
+  // A single 2-hop neighbor: for boundary processes the relay path leaves
+  // the mesh; interior processes must still relay correctly.
+  const std::vector<int> periods{0, 0};
+  const Neighborhood nb(2, {2, 2, -2, -2, 1, 1});
+  check_alltoall({5, 5}, periods, nb, 3, Algorithm::combining);
+  check_allgather({5, 5}, periods, nb, 3, Algorithm::combining);
+}
+
+TEST(NonPeriodic, OneDimensionalChain) {
+  const std::vector<int> periods{0};
+  check_alltoall({6}, periods, Neighborhood(1, {-2, -1, 1, 2}), 2,
+                 Algorithm::combining);
+  check_allgather({6}, periods, Neighborhood(1, {-2, -1, 1, 2}), 2,
+                  Algorithm::combining);
+}
+
+TEST(NonPeriodic, EveryoneIsolated) {
+  // Offsets so large no process has any on-mesh neighbor.
+  const std::vector<int> periods{0, 0};
+  const Neighborhood nb(2, {10, 10, -10, -10});
+  check_alltoall({2, 2}, periods, nb, 2, Algorithm::combining);
+  check_allgather({2, 2}, periods, nb, 2, Algorithm::combining);
+}
+
+TEST(NonPeriodic, TrivialMatchesCombiningOnMesh) {
+  mpl::run(16, [](mpl::Comm& world) {
+    const std::vector<int> dims{4, 4};
+    const std::vector<int> periods{0, 0};
+    const Neighborhood nb = Neighborhood::stencil(2, 4, -1);
+    auto cc = cartcomm::cart_neighborhood_create(world, dims, periods, nb);
+    const int t = nb.count();
+    const int m = 3;
+    std::vector<int> sb(static_cast<std::size_t>(t) * m);
+    for (std::size_t j = 0; j < sb.size(); ++j) {
+      sb[j] = world.rank() * 4096 + static_cast<int>(j);
+    }
+    std::vector<int> r1(sb.size(), -5), r2(sb.size(), -5);
+    cartcomm::alltoall(sb.data(), m, mpl::Datatype::of<int>(), r1.data(), m,
+                       mpl::Datatype::of<int>(), cc, Algorithm::trivial);
+    cartcomm::alltoall(sb.data(), m, mpl::Datatype::of<int>(), r2.data(), m,
+                       mpl::Datatype::of<int>(), cc, Algorithm::combining);
+    EXPECT_EQ(r1, r2);  // including identical untouched sentinels
+  });
+}

@@ -1,0 +1,227 @@
+// Persistent (precomputed-schedule) operations: reuse across iterations,
+// interaction with changing buffer contents (the Listing 3 usage).
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "cart_test_util.hpp"
+
+using cartcomm::Algorithm;
+using cartcomm::Neighborhood;
+
+namespace {
+const mpl::Datatype kInt = mpl::Datatype::of<int>();
+}
+
+TEST(Persistent, AlltoallReusedManyTimes) {
+  mpl::run(9, [](mpl::Comm& world) {
+    const std::vector<int> dims{3, 3};
+    const Neighborhood nb = Neighborhood::moore(2);
+    auto cc = cartcomm::cart_neighborhood_create(world, dims, {}, nb);
+    const int t = nb.count();
+    const int m = 4;
+    std::vector<int> sb(static_cast<std::size_t>(t) * m);
+    std::vector<int> rb(static_cast<std::size_t>(t) * m);
+    auto op = cartcomm::alltoall_init(sb.data(), m, kInt, rb.data(), m, kInt,
+                                      cc, Algorithm::combining);
+    for (int iter = 0; iter < 5; ++iter) {
+      // New data each iteration, same schedule.
+      for (int i = 0; i < t; ++i) {
+        for (int e = 0; e < m; ++e) {
+          sb[static_cast<std::size_t>(i) * m + e] =
+              carttest::pattern(world.rank(), i, e) + iter;
+        }
+      }
+      op.execute();
+      for (int i = 0; i < t; ++i) {
+        const int src = cc.source_ranks()[static_cast<std::size_t>(i)];
+        for (int e = 0; e < m; ++e) {
+          ASSERT_EQ(rb[static_cast<std::size_t>(i) * m + e],
+                    carttest::pattern(src, i, e) + iter)
+              << "iter " << iter;
+        }
+      }
+    }
+  });
+}
+
+TEST(Persistent, AllgatherReusedManyTimes) {
+  mpl::run(8, [](mpl::Comm& world) {
+    const std::vector<int> dims{2, 2, 2};
+    const Neighborhood nb = Neighborhood::stencil(3, 3, -1);
+    auto cc = cartcomm::cart_neighborhood_create(world, dims, {}, nb);
+    const int t = nb.count();
+    const int m = 2;
+    std::vector<int> sb(static_cast<std::size_t>(m));
+    std::vector<int> rb(static_cast<std::size_t>(t) * m);
+    auto op = cartcomm::allgather_init(sb.data(), m, kInt, rb.data(), m, kInt,
+                                       cc, Algorithm::combining);
+    for (int iter = 0; iter < 4; ++iter) {
+      for (int e = 0; e < m; ++e) {
+        sb[static_cast<std::size_t>(e)] = carttest::ag_pattern(world.rank(), e) + iter;
+      }
+      op.execute();
+      for (int i = 0; i < t; ++i) {
+        const int src = cc.source_ranks()[static_cast<std::size_t>(i)];
+        for (int e = 0; e < m; ++e) {
+          ASSERT_EQ(rb[static_cast<std::size_t>(i) * m + e],
+                    carttest::ag_pattern(src, e) + iter);
+        }
+      }
+    }
+  });
+}
+
+TEST(Persistent, TrivialPlanAlsoReusable) {
+  mpl::run(4, [](mpl::Comm& world) {
+    const std::vector<int> dims{2, 2};
+    const Neighborhood nb = Neighborhood::von_neumann(2, true);
+    auto cc = cartcomm::cart_neighborhood_create(world, dims, {}, nb);
+    const int t = nb.count();
+    std::vector<int> sb(static_cast<std::size_t>(t)), rb(static_cast<std::size_t>(t));
+    auto op = cartcomm::alltoall_init(sb.data(), 1, kInt, rb.data(), 1, kInt,
+                                      cc, Algorithm::trivial);
+    EXPECT_EQ(op.algorithm(), Algorithm::trivial);
+    for (int iter = 0; iter < 3; ++iter) {
+      for (int i = 0; i < t; ++i) {
+        sb[static_cast<std::size_t>(i)] = world.rank() * 100 + i + iter;
+      }
+      op.execute();
+      for (int i = 0; i < t; ++i) {
+        EXPECT_EQ(rb[static_cast<std::size_t>(i)],
+                  cc.source_ranks()[static_cast<std::size_t>(i)] * 100 + i + iter);
+      }
+    }
+  });
+}
+
+TEST(Persistent, ScheduleIntrospectionRequiresCombining) {
+  mpl::run(4, [](mpl::Comm& world) {
+    const std::vector<int> dims{2, 2};
+    auto cc = cartcomm::cart_neighborhood_create(world, dims, {},
+                                                 Neighborhood::von_neumann(2));
+    std::vector<int> sb(4), rb(4);
+    auto op = cartcomm::alltoall_init(sb.data(), 1, kInt, rb.data(), 1, kInt,
+                                      cc, Algorithm::trivial);
+    EXPECT_THROW(static_cast<void>(op.schedule()), mpl::Error);
+  });
+}
+
+TEST(Persistent, DefaultConstructedThrows) {
+  cartcomm::PersistentColl op;
+  EXPECT_THROW(op.execute(), mpl::Error);
+}
+
+TEST(Persistent, NonblockingStartWait) {
+  mpl::run(9, [](mpl::Comm& world) {
+    const std::vector<int> dims{3, 3};
+    const Neighborhood nb = Neighborhood::moore(2);
+    auto cc = cartcomm::cart_neighborhood_create(world, dims, {}, nb);
+    const int t = nb.count();
+    std::vector<int> sb(static_cast<std::size_t>(t)), rb(static_cast<std::size_t>(t), -1);
+    for (int i = 0; i < t; ++i) sb[static_cast<std::size_t>(i)] = world.rank() * 10 + i;
+    auto op = cartcomm::alltoall_init(sb.data(), 1, kInt, rb.data(), 1, kInt,
+                                      cc, Algorithm::combining);
+    cartcomm::CartRequest r = op.start();
+    // Overlap: do unrelated local work while the collective progresses.
+    long long acc = 0;
+    for (int i = 0; i < 1000; ++i) acc += i;
+    EXPECT_EQ(acc, 499500);
+    r.wait();
+    EXPECT_TRUE(r.done());
+    for (int i = 0; i < t; ++i) {
+      EXPECT_EQ(rb[static_cast<std::size_t>(i)],
+                cc.source_ranks()[static_cast<std::size_t>(i)] * 10 + i);
+    }
+  });
+}
+
+TEST(Persistent, NonblockingTestPolling) {
+  mpl::run(8, [](mpl::Comm& world) {
+    const std::vector<int> dims{2, 2, 2};
+    const Neighborhood nb = Neighborhood::stencil(3, 3, -1);
+    auto cc = cartcomm::cart_neighborhood_create(world, dims, {}, nb);
+    const int t = nb.count();
+    std::vector<int> sb(static_cast<std::size_t>(t), world.rank());
+    std::vector<int> rb(static_cast<std::size_t>(t), -1);
+    auto op = cartcomm::allgather_init(sb.data(), 1, kInt, rb.data(), 1, kInt,
+                                       cc, Algorithm::combining);
+    cartcomm::CartRequest r = op.start();
+    while (!r.test()) {
+      std::this_thread::yield();
+    }
+    for (int i = 0; i < t; ++i) {
+      EXPECT_EQ(rb[static_cast<std::size_t>(i)],
+                cc.source_ranks()[static_cast<std::size_t>(i)]);
+    }
+  });
+}
+
+TEST(Persistent, NonblockingTrivialPlan) {
+  mpl::run(9, [](mpl::Comm& world) {
+    const std::vector<int> dims{3, 3};
+    const Neighborhood nb = Neighborhood::von_neumann(2, /*self=*/true);
+    auto cc = cartcomm::cart_neighborhood_create(world, dims, {}, nb);
+    const int t = nb.count();
+    std::vector<int> sb(static_cast<std::size_t>(t)), rb(static_cast<std::size_t>(t), -1);
+    for (int i = 0; i < t; ++i) sb[static_cast<std::size_t>(i)] = world.rank() * 8 + i;
+    auto op = cartcomm::alltoall_init(sb.data(), 1, kInt, rb.data(), 1, kInt,
+                                      cc, Algorithm::trivial);
+    cartcomm::CartRequest r = op.start();
+    r.wait();
+    for (int i = 0; i < t; ++i) {
+      EXPECT_EQ(rb[static_cast<std::size_t>(i)],
+                cc.source_ranks()[static_cast<std::size_t>(i)] * 8 + i);
+    }
+  });
+}
+
+TEST(Persistent, NonblockingRepeatedStarts) {
+  mpl::run(4, [](mpl::Comm& world) {
+    const std::vector<int> dims{2, 2};
+    auto cc = cartcomm::cart_neighborhood_create(world, dims, {},
+                                                 Neighborhood::moore(2));
+    std::vector<int> sb(9), rb(9);
+    auto op = cartcomm::alltoall_init(sb.data(), 1, kInt, rb.data(), 1, kInt,
+                                      cc, Algorithm::combining);
+    for (int iter = 0; iter < 5; ++iter) {
+      for (int i = 0; i < 9; ++i) sb[static_cast<std::size_t>(i)] = world.rank() + iter * 100 + i;
+      auto r = op.start();
+      r.wait();
+      for (int i = 0; i < 9; ++i) {
+        EXPECT_EQ(rb[static_cast<std::size_t>(i)],
+                  cc.source_ranks()[static_cast<std::size_t>(i)] + iter * 100 + i);
+      }
+    }
+  });
+}
+
+TEST(Persistent, TwoOperationsInterleaved) {
+  // Two independent persistent schedules on the same communicator.
+  mpl::run(9, [](mpl::Comm& world) {
+    const std::vector<int> dims{3, 3};
+    const Neighborhood nb = Neighborhood::moore(2);
+    auto cc = cartcomm::cart_neighborhood_create(world, dims, {}, nb);
+    const int t = nb.count();
+    std::vector<int> sb1(static_cast<std::size_t>(t)), rb1(static_cast<std::size_t>(t));
+    std::vector<int> sb2(static_cast<std::size_t>(t)), rb2(static_cast<std::size_t>(t));
+    auto op1 = cartcomm::alltoall_init(sb1.data(), 1, kInt, rb1.data(), 1, kInt,
+                                       cc, Algorithm::combining);
+    auto op2 = cartcomm::alltoall_init(sb2.data(), 1, kInt, rb2.data(), 1, kInt,
+                                       cc, Algorithm::combining);
+    for (int i = 0; i < t; ++i) {
+      sb1[static_cast<std::size_t>(i)] = world.rank() * 10 + i;
+      sb2[static_cast<std::size_t>(i)] = -(world.rank() * 10 + i);
+    }
+    op1.execute();
+    op2.execute();
+    op1.execute();  // re-run after another collective
+    for (int i = 0; i < t; ++i) {
+      const int src = cc.source_ranks()[static_cast<std::size_t>(i)];
+      EXPECT_EQ(rb1[static_cast<std::size_t>(i)], src * 10 + i);
+      EXPECT_EQ(rb2[static_cast<std::size_t>(i)], -(src * 10 + i));
+    }
+  });
+}

@@ -1,0 +1,189 @@
+// Cartesian neighborhood reduction (the Section 2.2 / Section 5 extension).
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+#include "cartcomm/cartcomm.hpp"
+#include "mpl/mpl.hpp"
+
+using cartcomm::Neighborhood;
+
+TEST(CartReduce, SumOverMooreNeighborhood) {
+  mpl::run(9, [](mpl::Comm& world) {
+    const std::vector<int> dims{3, 3};
+    const Neighborhood nb = Neighborhood::moore(2);
+    auto cc = cartcomm::cart_neighborhood_create(world, dims, {}, nb);
+    const int mine[2] = {world.rank(), 1};
+    int out[2] = {-1, -1};
+    const int blocks = cartcomm::cart_reduce(mine, out, 2, mpl::op::plus{}, cc);
+    EXPECT_EQ(blocks, 9);
+    // Sum of all source ranks (with multiplicity) and the neighbor count.
+    int expect = 0;
+    for (int s : cc.source_ranks()) expect += s;
+    EXPECT_EQ(out[0], expect);
+    EXPECT_EQ(out[1], 9);
+  });
+}
+
+TEST(CartReduce, MaxExcludesSelfWithoutZeroVector) {
+  mpl::run(4, [](mpl::Comm& world) {
+    const std::vector<int> dims{4};
+    const Neighborhood nb(1, {-1, 1});  // no zero vector
+    auto cc = cartcomm::cart_neighborhood_create(world, dims, {}, nb);
+    const int mine = world.rank() * 10;
+    int out = -1;
+    const int blocks = cartcomm::cart_reduce(&mine, &out, 1, mpl::op::max{}, cc);
+    EXPECT_EQ(blocks, 2);
+    const int left = (world.rank() + 3) % 4 * 10;
+    const int right = (world.rank() + 1) % 4 * 10;
+    EXPECT_EQ(out, std::max(left, right));
+  });
+}
+
+TEST(CartReduce, StencilAverageOnMesh) {
+  // 5-point Jacobi-style averaging with PROC_NULL boundaries: boundary
+  // processes reduce over fewer contributions.
+  mpl::run(9, [](mpl::Comm& world) {
+    const std::vector<int> dims{3, 3};
+    const std::vector<int> periods{0, 0};
+    const Neighborhood nb = Neighborhood::von_neumann(2, true);
+    auto cc = cartcomm::cart_neighborhood_create(world, dims, periods, nb);
+    const double mine = 1.0;
+    double sum = 0.0;
+    const int blocks =
+        cartcomm::cart_reduce(&mine, &sum, 1, mpl::op::plus{}, cc);
+    int live = 0;
+    for (int s : cc.source_ranks()) live += (s != mpl::PROC_NULL);
+    EXPECT_EQ(blocks, live);
+    EXPECT_DOUBLE_EQ(sum, static_cast<double>(live));
+    // Center of the 3x3 mesh sees all 5 contributions, corners only 3.
+    if (world.rank() == 4) {
+      EXPECT_EQ(blocks, 5);
+    }
+    if (world.rank() == 0) {
+      EXPECT_EQ(blocks, 3);
+    }
+  });
+}
+
+TEST(CartReduce, CombiningMatchesTrivialOnMoore) {
+  mpl::run(12, [](mpl::Comm& world) {
+    const std::vector<int> dims{3, 4};
+    const Neighborhood nb = Neighborhood::stencil(2, 3, -1);
+    auto cc = cartcomm::cart_neighborhood_create(world, dims, {}, nb);
+    const int mine[3] = {world.rank(), world.rank() * world.rank(), 1};
+    int a[3], b[3];
+    const int na = cartcomm::cart_reduce(mine, a, 3, mpl::op::plus{}, cc,
+                                         cartcomm::Algorithm::trivial);
+    const int nb2 = cartcomm::cart_reduce(mine, b, 3, mpl::op::plus{}, cc,
+                                          cartcomm::Algorithm::combining);
+    EXPECT_EQ(na, 9);
+    EXPECT_EQ(nb2, 9);
+    for (int j = 0; j < 3; ++j) EXPECT_EQ(a[j], b[j]);
+  });
+}
+
+TEST(CartReduce, CombiningAllDimensionOrders) {
+  mpl::run(8, [](mpl::Comm& world) {
+    const std::vector<int> dims{2, 2, 2};
+    const Neighborhood nb(3, {-2, 1, 1, -1, 1, 1, 1, 1, 1, 2, 1, 1});
+    auto cc = cartcomm::cart_neighborhood_create(world, dims, {}, nb);
+    const double mine = world.rank() + 1.5;
+    double ref = 0.0;
+    cartcomm::cart_reduce(&mine, &ref, 1, mpl::op::plus{}, cc,
+                          cartcomm::Algorithm::trivial);
+    for (const auto order :
+         {cartcomm::DimOrder::natural, cartcomm::DimOrder::increasing_ck,
+          cartcomm::DimOrder::decreasing_ck}) {
+      double out = 0.0;
+      cartcomm::cart_reduce(&mine, &out, 1, mpl::op::plus{}, cc,
+                            cartcomm::Algorithm::combining, order);
+      EXPECT_DOUBLE_EQ(out, ref);
+    }
+  });
+}
+
+TEST(CartReduce, CombiningHandlesRepetitions) {
+  mpl::run(9, [](mpl::Comm& world) {
+    const std::vector<int> dims{3, 3};
+    // (1,1) twice, plus self twice: multiplicity in both leaf classes.
+    const Neighborhood nb(2, {1, 1, 1, 1, 0, 0, 0, 0});
+    auto cc = cartcomm::cart_neighborhood_create(world, dims, {}, nb);
+    const long long mine = 1 + world.rank();
+    long long a = 0, b = 0;
+    cartcomm::cart_reduce(&mine, &a, 1, mpl::op::plus{}, cc,
+                          cartcomm::Algorithm::trivial);
+    cartcomm::cart_reduce(&mine, &b, 1, mpl::op::plus{}, cc,
+                          cartcomm::Algorithm::combining);
+    EXPECT_EQ(a, b);
+  });
+}
+
+TEST(CartReduce, CombiningRandomizedAgainstTrivial) {
+  std::mt19937 rng(7);
+  std::uniform_int_distribution<int> off(-2, 2);
+  for (int trial = 0; trial < 4; ++trial) {
+    const int d = 2 + trial % 2;
+    const int t = 3 + trial;
+    std::vector<int> flat;
+    for (int i = 0; i < t * d; ++i) flat.push_back(off(rng));
+    const Neighborhood nb(d, std::move(flat));
+    const std::vector<int> dims(static_cast<std::size_t>(d), 3);
+    const int p = d == 2 ? 9 : 27;
+    mpl::run(p, [&](mpl::Comm& world) {
+      auto cc = cartcomm::cart_neighborhood_create(world, dims, {}, nb);
+      const int mine = world.rank() * 7 + 1;
+      int a = 0, b = 0;
+      cartcomm::cart_reduce(&mine, &a, 1, mpl::op::plus{}, cc,
+                            cartcomm::Algorithm::trivial);
+      cartcomm::cart_reduce(&mine, &b, 1, mpl::op::plus{}, cc,
+                            cartcomm::Algorithm::combining);
+      EXPECT_EQ(a, b) << "trial " << trial << " rank " << world.rank();
+    });
+  }
+}
+
+TEST(CartReduce, CombiningRejectsMeshes) {
+  EXPECT_THROW(
+      mpl::run(4,
+               [](mpl::Comm& world) {
+                 const std::vector<int> dims{4};
+                 const std::vector<int> periods{0};
+                 auto cc = cartcomm::cart_neighborhood_create(
+                     world, dims, periods, Neighborhood::von_neumann(1));
+                 int v = 1, out = 0;
+                 cartcomm::cart_reduce(&v, &out, 1, mpl::op::plus{}, cc,
+                                       cartcomm::Algorithm::combining);
+               }),
+      mpl::Error);
+}
+
+TEST(CartReduce, AutomaticPrefersCombiningOnTorus) {
+  // No direct introspection for the chosen path; verify automatic gives
+  // trivially-correct results on a case where combining is selected.
+  mpl::run(9, [](mpl::Comm& world) {
+    const std::vector<int> dims{3, 3};
+    auto cc = cartcomm::cart_neighborhood_create(world, dims, {},
+                                                 Neighborhood::moore(2));
+    const int mine = 2;
+    int out = 0;
+    const int blocks = cartcomm::cart_reduce(&mine, &out, 1, mpl::op::plus{}, cc);
+    EXPECT_EQ(blocks, 9);
+    EXPECT_EQ(out, 18);
+  });
+}
+
+TEST(CartReduce, EmptyNeighborhoodZeroFills) {
+  mpl::run(2, [](mpl::Comm& world) {
+    const std::vector<int> dims{2};
+    const Neighborhood nb(1, std::vector<int>{});
+    auto cc = cartcomm::cart_neighborhood_create(world, dims, {}, nb);
+    double out = 42.0;
+    EXPECT_EQ(cartcomm::cart_reduce(&out, &out, 0, mpl::op::plus{}, cc), 0);
+    int iout = 7;
+    const int mine = 3;
+    EXPECT_EQ(cartcomm::cart_reduce(&mine, &iout, 1, mpl::op::plus{}, cc), 0);
+    EXPECT_EQ(iout, 0);  // zero-filled
+  });
+}

@@ -1,0 +1,228 @@
+// Network cost model: virtual-clock laws, determinism, single-port
+// serialization, jitter.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "mpl/mpl.hpp"
+
+using mpl::Comm;
+using mpl::Datatype;
+using mpl::NetConfig;
+
+namespace {
+
+const Datatype kInt = Datatype::of<int>();
+
+NetConfig simple_model(double o, double L, double G) {
+  NetConfig c;
+  c.enabled = true;
+  c.o = o;
+  c.L = L;
+  c.G = G;
+  return c;
+}
+
+}  // namespace
+
+TEST(NetClock, PostAndCompleteLaws) {
+  mpl::NetClock clk;
+  NetConfig cfg = simple_model(1.0, 10.0, 0.5);
+  clk.configure(cfg, 0);
+  EXPECT_TRUE(clk.enabled());
+  EXPECT_DOUBLE_EQ(clk.now(), 0.0);
+
+  const double depart = clk.post_send(4);
+  EXPECT_DOUBLE_EQ(clk.now(), 1.0);   // overhead charged
+  EXPECT_DOUBLE_EQ(depart, 1.0);      // port free immediately
+
+  // A second send waits for the port: busy until depart + G*bytes = 3.0.
+  const double depart2 = clk.post_send(4);
+  EXPECT_DOUBLE_EQ(clk.now(), 2.0);
+  EXPECT_DOUBLE_EQ(depart2, 3.0);
+
+  clk.post_recv();
+  EXPECT_DOUBLE_EQ(clk.now(), 3.0);
+
+  // Arrival: depart + L through the receive port, then G*bytes.
+  const double done = clk.complete_recv(5.0, 4, false);
+  EXPECT_DOUBLE_EQ(done, 5.0 + 10.0 + 2.0);
+  clk.advance_to(done);
+  EXPECT_DOUBLE_EQ(clk.now(), 17.0);
+}
+
+TEST(NetClock, SelfMessageUsesCopyCost) {
+  mpl::NetClock clk;
+  NetConfig cfg = simple_model(0.0, 10.0, 0.5);
+  cfg.copy = 0.25;
+  clk.configure(cfg, 0);
+  const double done = clk.complete_recv(2.0, 8, /*from_self=*/true);
+  EXPECT_DOUBLE_EQ(done, 2.0 + 0.25 * 8);  // no latency, no port time
+}
+
+TEST(NetClock, ReceivePortSerializesArrivals) {
+  mpl::NetClock clk;
+  clk.configure(simple_model(0.0, 1.0, 1.0), 0);
+  // Two messages departing at t=0: second must queue behind the first.
+  const double d1 = clk.complete_recv(0.0, 10, false);
+  const double d2 = clk.complete_recv(0.0, 10, false);
+  EXPECT_DOUBLE_EQ(d1, 11.0);
+  EXPECT_DOUBLE_EQ(d2, 21.0);
+}
+
+TEST(NetClock, ResetClearsAllState) {
+  mpl::NetClock clk;
+  clk.configure(simple_model(1.0, 1.0, 1.0), 0);
+  clk.post_send(100);
+  clk.reset();
+  EXPECT_DOUBLE_EQ(clk.now(), 0.0);
+  EXPECT_DOUBLE_EQ(clk.post_send(1), 1.0);  // send port also reset
+}
+
+TEST(NetModel, DisabledClocksStayAtZero) {
+  mpl::run(2, [](Comm& c) {
+    const int v = c.rank();
+    int in = -1;
+    const int peer = 1 - c.rank();
+    c.sendrecv(&v, 1, kInt, peer, 0, &in, 1, kInt, peer, 0);
+    EXPECT_FALSE(c.model_enabled());
+    EXPECT_DOUBLE_EQ(c.vclock(), 0.0);
+  });
+}
+
+TEST(NetModel, PingPongCostIsExact) {
+  mpl::RunOptions opts;
+  opts.net = simple_model(1e-6, 5e-6, 1e-9);
+  mpl::run(
+      2,
+      [](Comm& c) {
+        const int bytes = sizeof(int);
+        const int v = 3;
+        int in = -1;
+        if (c.rank() == 0) {
+          c.send(&v, 1, kInt, 1, 0);
+          c.recv(&in, 1, kInt, 1, 0);
+          // Closed form of the round trip: the reply departs from the peer
+          // at 2o + L + G*b (its two posting overheads plus the forward
+          // message), and arrives here L + G*b later:
+          //   t = 2o + 2L + 2G*bytes
+          const double expect = 2e-6 + 10e-6 + 2e-9 * bytes;
+          EXPECT_NEAR(c.vclock(), expect, 1e-12);
+        } else {
+          c.recv(&in, 1, kInt, 0, 0);
+          c.send(&in, 1, kInt, 0, 0);
+        }
+      },
+      opts);
+}
+
+TEST(NetModel, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    mpl::RunOptions opts;
+    opts.net = NetConfig::omnipath();
+    std::vector<double> clocks(8, 0.0);
+    mpl::run(
+        8,
+        [&](Comm& c) {
+          std::vector<int> out(16, c.rank()), in(16);
+          for (int round = 0; round < 5; ++round) {
+            const int to = (c.rank() + round + 1) % c.size();
+            const int from = (c.rank() - round - 1 + c.size()) % c.size();
+            c.sendrecv(out.data(), 16, kInt, to, 0, in.data(), 16, kInt, from, 0);
+          }
+          clocks[static_cast<std::size_t>(c.rank())] = c.vclock();
+        },
+        opts);
+    return clocks;
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  EXPECT_EQ(a, b);  // bitwise identical regardless of thread scheduling
+  EXPECT_GT(a[0], 0.0);
+}
+
+TEST(NetModel, MoreMessagesCostMore) {
+  // t messages of size m must cost more than 1 message of size t*m when
+  // the per-message overhead dominates — the premise of message combining.
+  auto measure = [](int nmsg, int ints_per_msg) {
+    double result = 0.0;
+    mpl::RunOptions opts;
+    opts.net = NetConfig::omnipath();
+    mpl::run(
+        2,
+        [&](Comm& c) {
+          std::vector<int> buf(64 * 1024);
+          const int peer = 1 - c.rank();
+          std::vector<mpl::Request> reqs;
+          for (int i = 0; i < nmsg; ++i) {
+            reqs.push_back(c.irecv(buf.data() + i * ints_per_msg, ints_per_msg,
+                                   kInt, peer, 1));
+          }
+          for (int i = 0; i < nmsg; ++i) {
+            c.isend(buf.data() + i * ints_per_msg, ints_per_msg, kInt, peer, 1);
+          }
+          mpl::wait_all(reqs);
+          if (c.rank() == 0) result = c.vclock();
+        },
+        opts);
+    return result;
+  };
+  const double many_small = measure(100, 10);
+  const double one_big = measure(1, 1000);
+  EXPECT_GT(many_small, 2.0 * one_big);
+}
+
+TEST(NetModel, JitterProducesSpreadButKeepsOrder) {
+  NetConfig cfg = simple_model(0.0, 1.0, 0.0);
+  cfg.jitter = 0.5;
+  mpl::NetClock clk;
+  clk.configure(cfg, 3);
+  double min_l = 1e30, max_l = -1e30;
+  for (int i = 0; i < 200; ++i) {
+    const double done = clk.complete_recv(0.0, 0, false);
+    min_l = std::min(min_l, done);
+    max_l = std::max(max_l, done);
+    clk.reset();
+  }
+  EXPECT_GE(min_l, 1.0);        // jitter only ever adds latency
+  EXPECT_GT(max_l, min_l + 0.1);  // and produces real spread
+}
+
+TEST(NetModel, TailStallsAppearWithGivenProbability) {
+  NetConfig cfg = simple_model(0.0, 1.0, 0.0);
+  cfg.tail_prob = 0.2;
+  cfg.tail = 100.0;
+  mpl::NetClock clk;
+  clk.configure(cfg, 1);
+  int stalls = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (clk.complete_recv(0.0, 0, false) > 50.0) ++stalls;
+    clk.reset();
+  }
+  EXPECT_GT(stalls, 120);
+  EXPECT_LT(stalls, 280);
+}
+
+TEST(NetModel, VclockResetSyncZeroesEveryProcess) {
+  mpl::RunOptions opts;
+  opts.net = NetConfig::gemini();
+  mpl::run(
+      4,
+      [](Comm& c) {
+        mpl::barrier(c);
+        EXPECT_GT(c.vclock(), 0.0);
+        c.vclock_reset_sync();
+        EXPECT_DOUBLE_EQ(c.vclock(), 0.0);
+      },
+      opts);
+}
+
+TEST(NetModel, ProfilesAreOrdered) {
+  const NetConfig omni = NetConfig::omnipath();
+  const NetConfig gem = NetConfig::gemini();
+  EXPECT_TRUE(omni.enabled);
+  EXPECT_TRUE(gem.enabled);
+  EXPECT_LT(omni.L, gem.L);  // OmniPath is the lower-latency fabric
+  EXPECT_LT(omni.G, gem.G);
+  EXPECT_FALSE(NetConfig::off().enabled);
+}

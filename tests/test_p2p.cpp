@@ -1,0 +1,302 @@
+// Point-to-point semantics: blocking/non-blocking, matching, wildcards,
+// ordering, self-messages, errors.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "mpl/mpl.hpp"
+
+using mpl::Comm;
+using mpl::Datatype;
+
+namespace {
+const Datatype kInt = Datatype::of<int>();
+}
+
+TEST(P2P, BlockingSendRecv) {
+  mpl::run(2, [](Comm& c) {
+    if (c.rank() == 0) {
+      const int v = 42;
+      c.send(&v, 1, kInt, 1, 5);
+    } else {
+      int v = 0;
+      mpl::Status st = c.recv(&v, 1, kInt, 0, 5);
+      EXPECT_EQ(v, 42);
+      EXPECT_EQ(st.source, 0);
+      EXPECT_EQ(st.tag, 5);
+      EXPECT_EQ(st.bytes, sizeof(int));
+    }
+  });
+}
+
+TEST(P2P, NonblockingPair) {
+  mpl::run(2, [](Comm& c) {
+    std::vector<int> out(16), in(16, -1);
+    std::iota(out.begin(), out.end(), c.rank() * 100);
+    const int peer = 1 - c.rank();
+    mpl::Request r = c.irecv(in.data(), 16, kInt, peer);
+    c.isend(out.data(), 16, kInt, peer);
+    r.wait();
+    EXPECT_EQ(in[0], peer * 100);
+    EXPECT_EQ(in[15], peer * 100 + 15);
+  });
+}
+
+TEST(P2P, MessageOrderingFifoPerPair) {
+  mpl::run(2, [](Comm& c) {
+    constexpr int kN = 50;
+    if (c.rank() == 0) {
+      for (int i = 0; i < kN; ++i) c.send(&i, 1, kInt, 1, 3);
+    } else {
+      for (int i = 0; i < kN; ++i) {
+        int v = -1;
+        c.recv(&v, 1, kInt, 0, 3);
+        EXPECT_EQ(v, i);  // same (source, tag): delivered in send order
+      }
+    }
+  });
+}
+
+TEST(P2P, TagSelectsMessage) {
+  mpl::run(2, [](Comm& c) {
+    if (c.rank() == 0) {
+      const int a = 1, b = 2;
+      c.send(&a, 1, kInt, 1, 10);
+      c.send(&b, 1, kInt, 1, 20);
+    } else {
+      int v = 0;
+      c.recv(&v, 1, kInt, 0, 20);  // pick the later-tagged message first
+      EXPECT_EQ(v, 2);
+      c.recv(&v, 1, kInt, 0, 10);
+      EXPECT_EQ(v, 1);
+    }
+  });
+}
+
+TEST(P2P, AnySourceWildcard) {
+  mpl::run(3, [](Comm& c) {
+    if (c.rank() != 0) {
+      const int v = c.rank();
+      c.send(&v, 1, kInt, 0, 1);
+    } else {
+      int sum = 0;
+      for (int i = 0; i < 2; ++i) {
+        int v = 0;
+        mpl::Status st = c.recv(&v, 1, kInt, mpl::ANY_SOURCE, 1);
+        EXPECT_EQ(st.source, v);
+        sum += v;
+      }
+      EXPECT_EQ(sum, 3);
+    }
+  });
+}
+
+TEST(P2P, AnyTagWildcard) {
+  mpl::run(2, [](Comm& c) {
+    if (c.rank() == 0) {
+      const int v = 77;
+      c.send(&v, 1, kInt, 1, 123);
+    } else {
+      int v = 0;
+      mpl::Status st = c.recv(&v, 1, kInt, 0, mpl::ANY_TAG);
+      EXPECT_EQ(st.tag, 123);
+      EXPECT_EQ(v, 77);
+    }
+  });
+}
+
+TEST(P2P, SelfMessage) {
+  mpl::run(1, [](Comm& c) {
+    const int out = 9;
+    int in = 0;
+    mpl::Request r = c.irecv(&in, 1, kInt, 0, 2);
+    c.isend(&out, 1, kInt, 0, 2);
+    r.wait();
+    EXPECT_EQ(in, 9);
+  });
+}
+
+TEST(P2P, BlockingSelfSendIsEager) {
+  // MPI programs may send-to-self before receiving only if the send is
+  // buffered; our transport is always eager.
+  mpl::run(1, [](Comm& c) {
+    const int out = 5;
+    c.send(&out, 1, kInt, 0, 0);
+    int in = 0;
+    c.recv(&in, 1, kInt, 0, 0);
+    EXPECT_EQ(in, 5);
+  });
+}
+
+TEST(P2P, SendToProcNullIsNoop) {
+  mpl::run(1, [](Comm& c) {
+    const int v = 1;
+    c.send(&v, 1, kInt, mpl::PROC_NULL, 0);  // must not hang or deliver
+    int in = 0;
+    mpl::Status st = c.recv(&in, 1, kInt, mpl::PROC_NULL, 0);
+    EXPECT_EQ(st.source, mpl::PROC_NULL);
+    EXPECT_EQ(st.bytes, 0u);
+  });
+}
+
+TEST(P2P, SendrecvExchanges) {
+  mpl::run(2, [](Comm& c) {
+    const int out = c.rank() + 10;
+    int in = -1;
+    const int peer = 1 - c.rank();
+    c.sendrecv(&out, 1, kInt, peer, 0, &in, 1, kInt, peer, 0);
+    EXPECT_EQ(in, peer + 10);
+  });
+}
+
+TEST(P2P, SendrecvRingManyRounds) {
+  mpl::run(5, [](Comm& c) {
+    const int p = c.size();
+    int token = c.rank();
+    for (int round = 0; round < 3 * p; ++round) {
+      int in = -1;
+      c.sendrecv(&token, 1, kInt, (c.rank() + 1) % p, 0, &in, 1, kInt,
+                 (c.rank() - 1 + p) % p, 0);
+      token = in;
+    }
+    EXPECT_EQ(token, c.rank());  // token returned home after multiples of p
+  });
+}
+
+TEST(P2P, DatatypeConversionAcrossSend) {
+  // Send a strided column, receive it contiguously.
+  mpl::run(2, [](Comm& c) {
+    constexpr int N = 4;
+    if (c.rank() == 0) {
+      std::vector<int> m(N * N);
+      std::iota(m.begin(), m.end(), 0);
+      Datatype col = Datatype::vector(N, 1, N, kInt);
+      c.send(m.data() + 2, 1, col, 1, 0);  // third column
+    } else {
+      std::vector<int> col(N, -1);
+      c.recv(col.data(), N, kInt, 0, 0);
+      EXPECT_EQ(col[0], 2);
+      EXPECT_EQ(col[1], 6);
+      EXPECT_EQ(col[2], 10);
+      EXPECT_EQ(col[3], 14);
+    }
+  });
+}
+
+TEST(P2P, ShorterMessageIntoLargerReceive) {
+  mpl::run(2, [](Comm& c) {
+    if (c.rank() == 0) {
+      const int v[2] = {1, 2};
+      c.send(v, 2, kInt, 1, 0);
+    } else {
+      std::vector<int> in(8, -1);
+      mpl::Status st = c.recv(in.data(), 8, kInt, 0, 0);
+      EXPECT_EQ(st.bytes, 2 * sizeof(int));
+      EXPECT_EQ(in[0], 1);
+      EXPECT_EQ(in[1], 2);
+      EXPECT_EQ(in[2], -1);
+    }
+  });
+}
+
+TEST(P2P, TruncationIsAnError) {
+  EXPECT_THROW(mpl::run(2,
+                        [](Comm& c) {
+                          if (c.rank() == 0) {
+                            const int v[4] = {1, 2, 3, 4};
+                            c.send(v, 4, kInt, 1, 0);
+                          } else {
+                            int in = 0;
+                            c.recv(&in, 1, kInt, 0, 0);
+                          }
+                        }),
+               mpl::Error);
+}
+
+TEST(P2P, InvalidRankThrows) {
+  EXPECT_THROW(mpl::run(2,
+                        [](Comm& c) {
+                          const int v = 0;
+                          c.send(&v, 1, kInt, 7, 0);
+                        }),
+               mpl::Error);
+}
+
+TEST(P2P, NegativeUserTagThrows) {
+  EXPECT_THROW(mpl::run(1,
+                        [](Comm& c) {
+                          const int v = 0;
+                          c.send(&v, 1, kInt, 0, -3);
+                        }),
+               mpl::Error);
+}
+
+TEST(P2P, TestPollsCompletion) {
+  mpl::run(2, [](Comm& c) {
+    if (c.rank() == 0) {
+      int in = -1;
+      mpl::Request r = c.irecv(&in, 1, kInt, 1, 0);
+      mpl::Status st;
+      while (!r.test(&st)) {
+        std::this_thread::yield();
+      }
+      EXPECT_EQ(in, 33);
+      EXPECT_EQ(st.bytes, sizeof(int));
+    } else {
+      const int v = 33;
+      c.send(&v, 1, kInt, 0, 0);
+    }
+  });
+}
+
+TEST(P2P, WaitAllManyRequests) {
+  mpl::run(4, [](Comm& c) {
+    const int p = c.size();
+    std::vector<int> in(static_cast<std::size_t>(p), -1);
+    std::vector<mpl::Request> reqs;
+    for (int i = 0; i < p; ++i) {
+      if (i == c.rank()) continue;
+      reqs.push_back(c.irecv(&in[static_cast<std::size_t>(i)], 1, kInt, i, 0));
+    }
+    const int v = c.rank();
+    for (int i = 0; i < p; ++i) {
+      if (i == c.rank()) continue;
+      c.isend(&v, 1, kInt, i, 0);
+    }
+    std::vector<mpl::Status> sts(reqs.size());
+    mpl::wait_all(reqs, sts);
+    for (int i = 0; i < p; ++i) {
+      if (i == c.rank()) continue;
+      EXPECT_EQ(in[static_cast<std::size_t>(i)], i);
+    }
+  });
+}
+
+TEST(P2P, LargePayload) {
+  mpl::run(2, [](Comm& c) {
+    constexpr std::size_t kN = 1 << 20;  // 4 MiB of ints
+    if (c.rank() == 0) {
+      std::vector<int> big(kN);
+      std::iota(big.begin(), big.end(), 0);
+      c.send(big.data(), static_cast<int>(kN), kInt, 1, 0);
+    } else {
+      std::vector<int> big(kN, -1);
+      c.recv(big.data(), static_cast<int>(kN), kInt, 0, 0);
+      EXPECT_EQ(big[0], 0);
+      EXPECT_EQ(big[kN - 1], static_cast<int>(kN) - 1);
+    }
+  });
+}
+
+TEST(P2P, ExceptionInOneProcessAbortsRun) {
+  EXPECT_THROW(mpl::run(2,
+                        [](Comm& c) {
+                          if (c.rank() == 0) {
+                            throw std::logic_error("boom");
+                          }
+                          int v;
+                          c.recv(&v, 1, kInt, 0, 0);  // would block forever
+                        }),
+               std::logic_error);
+}

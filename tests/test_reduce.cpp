@@ -1,0 +1,84 @@
+// Typed reductions.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "mpl/mpl.hpp"
+
+using mpl::Comm;
+
+namespace {
+class ReduceSizes : public ::testing::TestWithParam<int> {};
+}
+
+TEST_P(ReduceSizes, SumToEveryRoot) {
+  const int p = GetParam();
+  mpl::run(p, [](Comm& c) {
+    for (int root = 0; root < c.size(); ++root) {
+      const int v = c.rank() + 1;
+      int out = -1;
+      mpl::reduce(&v, &out, 1, mpl::op::plus{}, root, c);
+      if (c.rank() == root) {
+        EXPECT_EQ(out, c.size() * (c.size() + 1) / 2);
+      }
+    }
+  });
+}
+
+TEST_P(ReduceSizes, AllreduceSumMinMax) {
+  const int p = GetParam();
+  mpl::run(p, [](Comm& c) {
+    const int r = c.rank();
+    EXPECT_EQ(mpl::allreduce(r, mpl::op::plus{}, c), c.size() * (c.size() - 1) / 2);
+    EXPECT_EQ(mpl::allreduce(r, mpl::op::min{}, c), 0);
+    EXPECT_EQ(mpl::allreduce(r, mpl::op::max{}, c), c.size() - 1);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ReduceSizes, ::testing::Values(1, 2, 3, 5, 8, 12));
+
+TEST(Reduce, VectorValued) {
+  mpl::run(4, [](Comm& c) {
+    std::vector<double> v{1.0 * c.rank(), 2.0 * c.rank(), -1.0 * c.rank()};
+    std::vector<double> out(3, 0.0);
+    mpl::allreduce(v.data(), out.data(), 3, mpl::op::plus{}, c);
+    EXPECT_DOUBLE_EQ(out[0], 6.0);
+    EXPECT_DOUBLE_EQ(out[1], 12.0);
+    EXPECT_DOUBLE_EQ(out[2], -6.0);
+  });
+}
+
+TEST(Reduce, ProductAndBitOr) {
+  mpl::run(3, [](Comm& c) {
+    EXPECT_EQ(mpl::allreduce(c.rank() + 1, mpl::op::prod{}, c), 6);
+    EXPECT_EQ(mpl::allreduce(1 << c.rank(), mpl::op::bit_or{}, c), 0b111);
+  });
+}
+
+TEST(Reduce, LogicalOps) {
+  mpl::run(4, [](Comm& c) {
+    const int mine = c.rank() == 2 ? 1 : 0;
+    EXPECT_EQ(mpl::allreduce(mine, mpl::op::logical_or{}, c), 1);
+    EXPECT_EQ(mpl::allreduce(mine, mpl::op::logical_and{}, c), 0);
+  });
+}
+
+TEST(Reduce, CustomLambdaOperator) {
+  mpl::run(4, [](Comm& c) {
+    // max-by-absolute-value as a user-provided commutative op
+    const int v = (c.rank() % 2 == 0 ? -1 : 1) * (c.rank() + 1);
+    const int out = mpl::allreduce(
+        v, [](int a, int b) { return std::abs(a) >= std::abs(b) ? a : b; }, c);
+    EXPECT_EQ(out, 4);  // rank 3 contributes +4, the largest magnitude
+  });
+}
+
+TEST(Reduce, RootOutOfRangeThrows) {
+  EXPECT_THROW(mpl::run(2,
+                        [](Comm& c) {
+                          const int v = 1;
+                          int out;
+                          mpl::reduce(&v, &out, 1, mpl::op::plus{}, 5, c);
+                        }),
+               mpl::Error);
+}

@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Convert the benchmark suite's text output into tidy CSV files.
+
+Usage:
+    for b in build/bench/*; do $b; done | tee bench_output.txt
+    python3 tools/bench_to_csv.py bench_output.txt out_dir/
+
+Produces one CSV per recognized experiment:
+    alltoall_figures.csv  - Figures 3/4/5 rows (figure, d, n, t, m, variant,
+                            milliseconds, relative-to-baseline)
+    fig6.csv              - Figure 6 rows (operation, m, variant, ms, rel)
+    table1.csv            - Table 1 rows
+Unrecognized sections are ignored, so the script keeps working when new
+benchmarks are added.
+"""
+
+import csv
+import os
+import re
+import sys
+
+
+def parse_alltoall_figures(text):
+    """Rows of the shared Figures 3/4/5 driver."""
+    rows = []
+    figure = None
+    for line in text.splitlines():
+        m = re.match(r"Figure (\d+): Cart_alltoall", line)
+        if m:
+            figure = int(m.group(1))
+            continue
+        m = re.match(
+            r"d=(\d+) n=(\d+) \(t=\s*(\d+)\) m=\s*(\d+) \| (.*)", line)
+        if not m or figure is None:
+            continue
+        d, n, t, blk = (int(m.group(i)) for i in range(1, 5))
+        for part in m.group(5).split("|"):
+            vm = re.match(
+                r"\s*([\w-]+)\s+([\d.]+) ms \(\s*([\d.]+)", part)
+            if vm:
+                rows.append([figure, d, n, t, blk, vm.group(1),
+                             float(vm.group(2)), float(vm.group(3))])
+    return rows
+
+
+def parse_fig6(text):
+    rows = []
+    op = None
+    for line in text.splitlines():
+        m = re.match(r"Figure 6 \((\w+)\): (Cart_\w+)", line)
+        if m:
+            op = m.group(2)
+            continue
+        m = re.match(r"m=\s*(\d+) \| (.*)", line)
+        if not m or op is None:
+            continue
+        blk = int(m.group(1))
+        for part in m.group(2).split("|"):
+            vm = re.match(r"\s*([\w_]+)\s+([\d.]+) ms \(\s*([\d.]+)", part)
+            if vm:
+                rows.append([op, blk, vm.group(1), float(vm.group(2)),
+                             float(vm.group(3))])
+    return rows
+
+
+def parse_table1(text):
+    rows = []
+    in_table = False
+    for line in text.splitlines():
+        if line.startswith("Table 1:"):
+            in_table = True
+            continue
+        if not in_table:
+            continue
+        m = re.match(
+            r"(\d+)\s+(\d+)\s+\|\s+(\d+)\s+(\d+)\s+\|\s+(\d+)\s+(\d+)\s+\|"
+            r"\s+([\d.]+|inf)", line)
+        if m:
+            rows.append([int(m.group(i)) for i in range(1, 7)] +
+                        [float(m.group(7))])
+        elif line.startswith("(") and rows:
+            break
+    return rows
+
+
+def write_csv(path, header, rows):
+    if not rows:
+        return
+    with open(path, "w", newline="") as fh:
+        w = csv.writer(fh)
+        w.writerow(header)
+        w.writerows(rows)
+    print(f"wrote {path} ({len(rows)} rows)")
+
+
+def main():
+    if len(sys.argv) != 3:
+        sys.exit(__doc__)
+    text = open(sys.argv[1]).read()
+    out = sys.argv[2]
+    os.makedirs(out, exist_ok=True)
+    write_csv(os.path.join(out, "alltoall_figures.csv"),
+              ["figure", "d", "n", "t", "m", "variant", "ms", "relative"],
+              parse_alltoall_figures(text))
+    write_csv(os.path.join(out, "fig6.csv"),
+              ["operation", "m", "variant", "ms", "relative"],
+              parse_fig6(text))
+    write_csv(os.path.join(out, "table1.csv"),
+              ["d", "n", "t_trivial", "C", "allgather_V", "alltoall_V",
+               "cutoff"],
+              parse_table1(text))
+
+
+if __name__ == "__main__":
+    main()
