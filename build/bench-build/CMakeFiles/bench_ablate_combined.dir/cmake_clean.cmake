@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablate_combined"
+  "../bench/bench_ablate_combined.pdb"
+  "CMakeFiles/bench_ablate_combined.dir/bench_ablate_combined.cpp.o"
+  "CMakeFiles/bench_ablate_combined.dir/bench_ablate_combined.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_combined.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

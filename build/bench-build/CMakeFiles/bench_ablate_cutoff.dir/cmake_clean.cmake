@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablate_cutoff"
+  "../bench/bench_ablate_cutoff.pdb"
+  "CMakeFiles/bench_ablate_cutoff.dir/bench_ablate_cutoff.cpp.o"
+  "CMakeFiles/bench_ablate_cutoff.dir/bench_ablate_cutoff.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_cutoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

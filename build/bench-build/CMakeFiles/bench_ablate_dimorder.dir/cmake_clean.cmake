@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablate_dimorder"
+  "../bench/bench_ablate_dimorder.pdb"
+  "CMakeFiles/bench_ablate_dimorder.dir/bench_ablate_dimorder.cpp.o"
+  "CMakeFiles/bench_ablate_dimorder.dir/bench_ablate_dimorder.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_dimorder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablate_persistent"
+  "../bench/bench_ablate_persistent.pdb"
+  "CMakeFiles/bench_ablate_persistent.dir/bench_ablate_persistent.cpp.o"
+  "CMakeFiles/bench_ablate_persistent.dir/bench_ablate_persistent.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_persistent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_datatype"
+  "../bench/bench_datatype.pdb"
+  "CMakeFiles/bench_datatype.dir/bench_datatype.cpp.o"
+  "CMakeFiles/bench_datatype.dir/bench_datatype.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_datatype.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig3_alltoall_hydra_openmpi"
+  "../bench/bench_fig3_alltoall_hydra_openmpi.pdb"
+  "CMakeFiles/bench_fig3_alltoall_hydra_openmpi.dir/bench_fig3_alltoall_hydra_openmpi.cpp.o"
+  "CMakeFiles/bench_fig3_alltoall_hydra_openmpi.dir/bench_fig3_alltoall_hydra_openmpi.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_alltoall_hydra_openmpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

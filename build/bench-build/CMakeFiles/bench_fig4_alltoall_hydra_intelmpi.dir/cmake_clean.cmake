@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig4_alltoall_hydra_intelmpi"
+  "../bench/bench_fig4_alltoall_hydra_intelmpi.pdb"
+  "CMakeFiles/bench_fig4_alltoall_hydra_intelmpi.dir/bench_fig4_alltoall_hydra_intelmpi.cpp.o"
+  "CMakeFiles/bench_fig4_alltoall_hydra_intelmpi.dir/bench_fig4_alltoall_hydra_intelmpi.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_alltoall_hydra_intelmpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

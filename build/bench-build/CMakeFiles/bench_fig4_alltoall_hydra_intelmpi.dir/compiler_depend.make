@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig4_alltoall_hydra_intelmpi.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5_alltoall_titan"
+  "../bench/bench_fig5_alltoall_titan.pdb"
+  "CMakeFiles/bench_fig5_alltoall_titan.dir/bench_fig5_alltoall_titan.cpp.o"
+  "CMakeFiles/bench_fig5_alltoall_titan.dir/bench_fig5_alltoall_titan.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_alltoall_titan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig6_allgather"
+  "../bench/bench_fig6_allgather.pdb"
+  "CMakeFiles/bench_fig6_allgather.dir/bench_fig6_allgather.cpp.o"
+  "CMakeFiles/bench_fig6_allgather.dir/bench_fig6_allgather.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_allgather.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig6_alltoallv"
+  "../bench/bench_fig6_alltoallv.pdb"
+  "CMakeFiles/bench_fig6_alltoallv.dir/bench_fig6_alltoallv.cpp.o"
+  "CMakeFiles/bench_fig6_alltoallv.dir/bench_fig6_alltoallv.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_alltoallv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig7_histogram"
+  "../bench/bench_fig7_histogram.pdb"
+  "CMakeFiles/bench_fig7_histogram.dir/bench_fig7_histogram.cpp.o"
+  "CMakeFiles/bench_fig7_histogram.dir/bench_fig7_histogram.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_histogram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/advection3d.dir/advection3d.cpp.o"
+  "CMakeFiles/advection3d.dir/advection3d.cpp.o.d"
+  "advection3d"
+  "advection3d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/advection3d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

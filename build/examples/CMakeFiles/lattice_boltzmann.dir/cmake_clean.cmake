@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lattice_boltzmann.dir/lattice_boltzmann.cpp.o"
+  "CMakeFiles/lattice_boltzmann.dir/lattice_boltzmann.cpp.o.d"
+  "lattice_boltzmann"
+  "lattice_boltzmann.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lattice_boltzmann.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wave2d_high_order.dir/wave2d_high_order.cpp.o"
+  "CMakeFiles/wave2d_high_order.dir/wave2d_high_order.cpp.o.d"
+  "wave2d_high_order"
+  "wave2d_high_order.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wave2d_high_order.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for wave2d_high_order.
+# This may be replaced when dependencies are built.

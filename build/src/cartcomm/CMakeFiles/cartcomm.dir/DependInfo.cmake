@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cartcomm/allgather_schedule.cpp" "src/cartcomm/CMakeFiles/cartcomm.dir/allgather_schedule.cpp.o" "gcc" "src/cartcomm/CMakeFiles/cartcomm.dir/allgather_schedule.cpp.o.d"
+  "/root/repo/src/cartcomm/alltoall_schedule.cpp" "src/cartcomm/CMakeFiles/cartcomm.dir/alltoall_schedule.cpp.o" "gcc" "src/cartcomm/CMakeFiles/cartcomm.dir/alltoall_schedule.cpp.o.d"
+  "/root/repo/src/cartcomm/analysis.cpp" "src/cartcomm/CMakeFiles/cartcomm.dir/analysis.cpp.o" "gcc" "src/cartcomm/CMakeFiles/cartcomm.dir/analysis.cpp.o.d"
+  "/root/repo/src/cartcomm/cart_comm.cpp" "src/cartcomm/CMakeFiles/cartcomm.dir/cart_comm.cpp.o" "gcc" "src/cartcomm/CMakeFiles/cartcomm.dir/cart_comm.cpp.o.d"
+  "/root/repo/src/cartcomm/coll.cpp" "src/cartcomm/CMakeFiles/cartcomm.dir/coll.cpp.o" "gcc" "src/cartcomm/CMakeFiles/cartcomm.dir/coll.cpp.o.d"
+  "/root/repo/src/cartcomm/neighborhood.cpp" "src/cartcomm/CMakeFiles/cartcomm.dir/neighborhood.cpp.o" "gcc" "src/cartcomm/CMakeFiles/cartcomm.dir/neighborhood.cpp.o.d"
+  "/root/repo/src/cartcomm/schedule.cpp" "src/cartcomm/CMakeFiles/cartcomm.dir/schedule.cpp.o" "gcc" "src/cartcomm/CMakeFiles/cartcomm.dir/schedule.cpp.o.d"
+  "/root/repo/src/cartcomm/tree.cpp" "src/cartcomm/CMakeFiles/cartcomm.dir/tree.cpp.o" "gcc" "src/cartcomm/CMakeFiles/cartcomm.dir/tree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mpl/CMakeFiles/mpl.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cartcomm.dir/allgather_schedule.cpp.o"
+  "CMakeFiles/cartcomm.dir/allgather_schedule.cpp.o.d"
+  "CMakeFiles/cartcomm.dir/alltoall_schedule.cpp.o"
+  "CMakeFiles/cartcomm.dir/alltoall_schedule.cpp.o.d"
+  "CMakeFiles/cartcomm.dir/analysis.cpp.o"
+  "CMakeFiles/cartcomm.dir/analysis.cpp.o.d"
+  "CMakeFiles/cartcomm.dir/cart_comm.cpp.o"
+  "CMakeFiles/cartcomm.dir/cart_comm.cpp.o.d"
+  "CMakeFiles/cartcomm.dir/coll.cpp.o"
+  "CMakeFiles/cartcomm.dir/coll.cpp.o.d"
+  "CMakeFiles/cartcomm.dir/neighborhood.cpp.o"
+  "CMakeFiles/cartcomm.dir/neighborhood.cpp.o.d"
+  "CMakeFiles/cartcomm.dir/schedule.cpp.o"
+  "CMakeFiles/cartcomm.dir/schedule.cpp.o.d"
+  "CMakeFiles/cartcomm.dir/tree.cpp.o"
+  "CMakeFiles/cartcomm.dir/tree.cpp.o.d"
+  "libcartcomm.a"
+  "libcartcomm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cartcomm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mpl/collectives.cpp" "src/mpl/CMakeFiles/mpl.dir/collectives.cpp.o" "gcc" "src/mpl/CMakeFiles/mpl.dir/collectives.cpp.o.d"
+  "/root/repo/src/mpl/comm.cpp" "src/mpl/CMakeFiles/mpl.dir/comm.cpp.o" "gcc" "src/mpl/CMakeFiles/mpl.dir/comm.cpp.o.d"
+  "/root/repo/src/mpl/datatype.cpp" "src/mpl/CMakeFiles/mpl.dir/datatype.cpp.o" "gcc" "src/mpl/CMakeFiles/mpl.dir/datatype.cpp.o.d"
+  "/root/repo/src/mpl/error.cpp" "src/mpl/CMakeFiles/mpl.dir/error.cpp.o" "gcc" "src/mpl/CMakeFiles/mpl.dir/error.cpp.o.d"
+  "/root/repo/src/mpl/mailbox.cpp" "src/mpl/CMakeFiles/mpl.dir/mailbox.cpp.o" "gcc" "src/mpl/CMakeFiles/mpl.dir/mailbox.cpp.o.d"
+  "/root/repo/src/mpl/neighborhood.cpp" "src/mpl/CMakeFiles/mpl.dir/neighborhood.cpp.o" "gcc" "src/mpl/CMakeFiles/mpl.dir/neighborhood.cpp.o.d"
+  "/root/repo/src/mpl/netmodel.cpp" "src/mpl/CMakeFiles/mpl.dir/netmodel.cpp.o" "gcc" "src/mpl/CMakeFiles/mpl.dir/netmodel.cpp.o.d"
+  "/root/repo/src/mpl/request.cpp" "src/mpl/CMakeFiles/mpl.dir/request.cpp.o" "gcc" "src/mpl/CMakeFiles/mpl.dir/request.cpp.o.d"
+  "/root/repo/src/mpl/runtime.cpp" "src/mpl/CMakeFiles/mpl.dir/runtime.cpp.o" "gcc" "src/mpl/CMakeFiles/mpl.dir/runtime.cpp.o.d"
+  "/root/repo/src/mpl/topology.cpp" "src/mpl/CMakeFiles/mpl.dir/topology.cpp.o" "gcc" "src/mpl/CMakeFiles/mpl.dir/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

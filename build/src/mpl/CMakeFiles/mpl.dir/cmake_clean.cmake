@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpl.dir/collectives.cpp.o"
+  "CMakeFiles/mpl.dir/collectives.cpp.o.d"
+  "CMakeFiles/mpl.dir/comm.cpp.o"
+  "CMakeFiles/mpl.dir/comm.cpp.o.d"
+  "CMakeFiles/mpl.dir/datatype.cpp.o"
+  "CMakeFiles/mpl.dir/datatype.cpp.o.d"
+  "CMakeFiles/mpl.dir/error.cpp.o"
+  "CMakeFiles/mpl.dir/error.cpp.o.d"
+  "CMakeFiles/mpl.dir/mailbox.cpp.o"
+  "CMakeFiles/mpl.dir/mailbox.cpp.o.d"
+  "CMakeFiles/mpl.dir/neighborhood.cpp.o"
+  "CMakeFiles/mpl.dir/neighborhood.cpp.o.d"
+  "CMakeFiles/mpl.dir/netmodel.cpp.o"
+  "CMakeFiles/mpl.dir/netmodel.cpp.o.d"
+  "CMakeFiles/mpl.dir/request.cpp.o"
+  "CMakeFiles/mpl.dir/request.cpp.o.d"
+  "CMakeFiles/mpl.dir/runtime.cpp.o"
+  "CMakeFiles/mpl.dir/runtime.cpp.o.d"
+  "CMakeFiles/mpl.dir/topology.cpp.o"
+  "CMakeFiles/mpl.dir/topology.cpp.o.d"
+  "libmpl.a"
+  "libmpl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cart_allgather.dir/test_cart_allgather.cpp.o"
+  "CMakeFiles/test_cart_allgather.dir/test_cart_allgather.cpp.o.d"
+  "test_cart_allgather"
+  "test_cart_allgather.pdb"
+  "test_cart_allgather[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cart_allgather.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cart_alltoall.dir/test_cart_alltoall.cpp.o"
+  "CMakeFiles/test_cart_alltoall.dir/test_cart_alltoall.cpp.o.d"
+  "test_cart_alltoall"
+  "test_cart_alltoall.pdb"
+  "test_cart_alltoall[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cart_alltoall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cart_comm.dir/test_cart_comm.cpp.o"
+  "CMakeFiles/test_cart_comm.dir/test_cart_comm.cpp.o.d"
+  "test_cart_comm"
+  "test_cart_comm.pdb"
+  "test_cart_comm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cart_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cart_detect.dir/test_cart_detect.cpp.o"
+  "CMakeFiles/test_cart_detect.dir/test_cart_detect.cpp.o.d"
+  "test_cart_detect"
+  "test_cart_detect.pdb"
+  "test_cart_detect[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cart_detect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cart_irregular.dir/test_cart_irregular.cpp.o"
+  "CMakeFiles/test_cart_irregular.dir/test_cart_irregular.cpp.o.d"
+  "test_cart_irregular"
+  "test_cart_irregular.pdb"
+  "test_cart_irregular[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cart_irregular.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cart_neighborhood.dir/test_cart_neighborhood.cpp.o"
+  "CMakeFiles/test_cart_neighborhood.dir/test_cart_neighborhood.cpp.o.d"
+  "test_cart_neighborhood"
+  "test_cart_neighborhood.pdb"
+  "test_cart_neighborhood[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cart_neighborhood.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cart_nonperiodic.dir/test_cart_nonperiodic.cpp.o"
+  "CMakeFiles/test_cart_nonperiodic.dir/test_cart_nonperiodic.cpp.o.d"
+  "test_cart_nonperiodic"
+  "test_cart_nonperiodic.pdb"
+  "test_cart_nonperiodic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cart_nonperiodic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cart_persistent.dir/test_cart_persistent.cpp.o"
+  "CMakeFiles/test_cart_persistent.dir/test_cart_persistent.cpp.o.d"
+  "test_cart_persistent"
+  "test_cart_persistent.pdb"
+  "test_cart_persistent[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cart_persistent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

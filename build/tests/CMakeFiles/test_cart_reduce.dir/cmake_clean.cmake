@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cart_reduce.dir/test_cart_reduce.cpp.o"
+  "CMakeFiles/test_cart_reduce.dir/test_cart_reduce.cpp.o.d"
+  "test_cart_reduce"
+  "test_cart_reduce.pdb"
+  "test_cart_reduce[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cart_reduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

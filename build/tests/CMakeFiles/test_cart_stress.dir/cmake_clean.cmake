@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cart_stress.dir/test_cart_stress.cpp.o"
+  "CMakeFiles/test_cart_stress.dir/test_cart_stress.cpp.o.d"
+  "test_cart_stress"
+  "test_cart_stress.pdb"
+  "test_cart_stress[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cart_stress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

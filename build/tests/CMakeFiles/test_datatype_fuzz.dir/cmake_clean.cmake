@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_datatype_fuzz.dir/test_datatype_fuzz.cpp.o"
+  "CMakeFiles/test_datatype_fuzz.dir/test_datatype_fuzz.cpp.o.d"
+  "test_datatype_fuzz"
+  "test_datatype_fuzz.pdb"
+  "test_datatype_fuzz[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_datatype_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mpl_extras.dir/test_mpl_extras.cpp.o"
+  "CMakeFiles/test_mpl_extras.dir/test_mpl_extras.cpp.o.d"
+  "test_mpl_extras"
+  "test_mpl_extras.pdb"
+  "test_mpl_extras[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mpl_extras.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

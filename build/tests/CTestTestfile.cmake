@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_datatype[1]_include.cmake")
+include("/root/repo/build/tests/test_p2p[1]_include.cmake")
+include("/root/repo/build/tests/test_comm[1]_include.cmake")
+include("/root/repo/build/tests/test_collectives[1]_include.cmake")
+include("/root/repo/build/tests/test_reduce[1]_include.cmake")
+include("/root/repo/build/tests/test_topology[1]_include.cmake")
+include("/root/repo/build/tests/test_neighborhood[1]_include.cmake")
+include("/root/repo/build/tests/test_netmodel[1]_include.cmake")
+include("/root/repo/build/tests/test_cart_neighborhood[1]_include.cmake")
+include("/root/repo/build/tests/test_cart_comm[1]_include.cmake")
+include("/root/repo/build/tests/test_cart_alltoall[1]_include.cmake")
+include("/root/repo/build/tests/test_cart_allgather[1]_include.cmake")
+include("/root/repo/build/tests/test_cart_irregular[1]_include.cmake")
+include("/root/repo/build/tests/test_cart_persistent[1]_include.cmake")
+include("/root/repo/build/tests/test_cart_nonperiodic[1]_include.cmake")
+include("/root/repo/build/tests/test_cart_reduce[1]_include.cmake")
+include("/root/repo/build/tests/test_stencil[1]_include.cmake")
+include("/root/repo/build/tests/test_schedule_merge[1]_include.cmake")
+include("/root/repo/build/tests/test_cart_detect[1]_include.cmake")
+include("/root/repo/build/tests/test_mpl_extras[1]_include.cmake")
+include("/root/repo/build/tests/test_cart_stress[1]_include.cmake")
+include("/root/repo/build/tests/test_datatype_fuzz[1]_include.cmake")
