@@ -165,7 +165,11 @@ Schedule build_alltoall_schedule(const CartNeighborComm& cc,
       offv[static_cast<std::size_t>(k)] = -c;
       const int recvrank = grid.rank_at_offset(R, offv);
       offv[static_cast<std::size_t>(k)] = 0;
-      builder.add_round({sendrank, recvrank, sb.build(), rb.build(), round_offset},
+      // rank_at_offset yields PROC_NULL exactly when the offset leaves a
+      // non-periodic mesh, so a null partner here is a provable boundary.
+      builder.add_round({sendrank, recvrank, sb.build(), rb.build(),
+                         round_offset, sendrank == mpl::PROC_NULL,
+                         recvrank == mpl::PROC_NULL},
                         nsent);
       s = e;
     }

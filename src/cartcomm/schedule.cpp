@@ -9,6 +9,22 @@
 
 namespace cartcomm {
 
+namespace {
+
+// A PROC_NULL partner is only legal when the builder marked it as an
+// intentional mesh-boundary hole; executing would otherwise silently skip
+// the round and mask a rank-computation mismatch as mesh-boundary silence.
+void require_null_provenance(const ScheduleRound& r) {
+  MPL_REQUIRE(r.sendrank != mpl::PROC_NULL || r.send_boundary,
+              "schedule: send partner is PROC_NULL without mesh-boundary "
+              "provenance (rank mismatch?)");
+  MPL_REQUIRE(r.recvrank != mpl::PROC_NULL || r.recv_boundary,
+              "schedule: receive partner is PROC_NULL without mesh-boundary "
+              "provenance (rank mismatch?)");
+}
+
+}  // namespace
+
 void Schedule::execute(const mpl::Comm& comm) const {
   // Listing 5: within each phase all rounds are independent — launch them
   // with non-blocking operations and wait for the whole phase.
@@ -19,6 +35,7 @@ void Schedule::execute(const mpl::Comm& comm) const {
     reqs.reserve(static_cast<std::size_t>(nrounds));
     for (int j = 0; j < nrounds; ++j, ++i) {
       const ScheduleRound& r = rounds_[i];
+      require_null_provenance(r);
       if (r.recvrank != mpl::PROC_NULL && r.recvtype.valid() &&
           r.recvtype.size() > 0) {
         reqs.push_back(
@@ -58,6 +75,7 @@ void Schedule::Execution::post_phase() {
     const int nrounds = sched_->phase_rounds_[phase_];
     for (int j = 0; j < nrounds; ++j) {
       const ScheduleRound& r = sched_->rounds_[round_base_ + static_cast<std::size_t>(j)];
+      require_null_provenance(r);
       if (r.recvrank != mpl::PROC_NULL && r.recvtype.valid() &&
           r.recvtype.size() > 0) {
         pending_.push_back(

@@ -38,6 +38,13 @@ struct ScheduleRound {
   /// fuse the same rounds or FIFO message pairing would break at mesh
   /// boundaries, so the decision is keyed on offsets, never on ranks.
   std::vector<int> offset;
+  /// Provenance of a PROC_NULL partner: set by the schedule builders when
+  /// the round's offset leaves a non-periodic mesh from this process, so
+  /// the executor and the verifier can distinguish an intentional
+  /// mesh-boundary hole from a rank-computation mismatch. Execution
+  /// refuses to silently skip a PROC_NULL partner that lacks this flag.
+  bool send_boundary = false;
+  bool recv_boundary = false;
 };
 
 /// A local data movement (e.g. the self block): copy through absolute types.

@@ -1,0 +1,190 @@
+// Debug-only concurrency analysis layer (compiled in under MPL_CHECKED).
+//
+// The simulated-MPI runtime takes three kinds of locks: the per-process
+// mailbox mutex, the runtime's communicator registry mutex, and the
+// out-of-band barrier mutex. The intended discipline is a strict global
+// hierarchy — a thread holds at most one tracked lock at a time, and a
+// condition variable is only ever waited on while holding exactly the
+// mutex it is paired with:
+//
+//   level 1  comm_registry  (RuntimeState::comm_mtx_)
+//   level 2  oob_barrier    (OobBarrier::mtx_)
+//   level 3  mailbox        (Mailbox::mtx_; one per simulated process)
+//
+// CheckedMutex enforces the hierarchy at acquisition time with a
+// thread-local stack of held levels: acquiring a level <= the highest held
+// level (including a second lock of the same level, e.g. two mailboxes —
+// the classic circular-wait deadlock between a pair of senders) throws
+// immediately with both levels named. CheckedCondVar rejects waits that
+// would sleep while holding any tracked lock other than the one being
+// released — the lost-wakeup/deadlock pattern where a notifier can never
+// reach its own lock.
+//
+// With MPL_CHECKED undefined (the default) everything aliases the plain
+// std:: primitives: zero overhead, identical layout semantics.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#ifdef MPL_CHECKED
+#include <stdexcept>
+#include <string>
+#endif
+
+namespace mpl::detail {
+
+/// The global lock hierarchy. Levels must strictly increase along any
+/// nested acquisition; equal levels never nest.
+enum class LockLevel : int {
+  comm_registry = 1,
+  oob_barrier = 2,
+  mailbox = 3,
+};
+
+#ifdef MPL_CHECKED
+
+/// Thread-local record of the tracked locks the calling thread holds.
+class LockTracker {
+ public:
+  static constexpr int kMaxHeld = 8;
+
+  static void acquired(LockLevel level) {
+    const int l = static_cast<int>(level);
+    if (nheld_ > 0 && held_[nheld_ - 1] >= l) {
+      throw std::logic_error(
+          "mpl[checked]: lock-order violation: acquiring level " +
+          std::to_string(l) + " (" + name(level) + ") while holding level " +
+          std::to_string(held_[nheld_ - 1]) +
+          " — the lock hierarchy requires strictly increasing levels");
+    }
+    if (nheld_ >= kMaxHeld) {
+      throw std::logic_error("mpl[checked]: lock nesting too deep");
+    }
+    held_[nheld_++] = l;
+  }
+
+  static void released(LockLevel level) {
+    const int l = static_cast<int>(level);
+    for (int i = nheld_ - 1; i >= 0; --i) {
+      if (held_[i] == l) {
+        for (int j = i; j + 1 < nheld_; ++j) held_[j] = held_[j + 1];
+        --nheld_;
+        return;
+      }
+    }
+    throw std::logic_error(
+        "mpl[checked]: releasing level " + std::to_string(l) + " (" +
+        name(level) + ") that this thread does not hold");
+  }
+
+  /// Number of tracked locks the calling thread currently holds.
+  static int held_count() noexcept { return nheld_; }
+
+  /// Waiting on a condvar releases exactly one lock; holding any other
+  /// tracked lock across the wait risks a lost wakeup (the notifier may
+  /// block on that other lock forever). Called by CheckedCondVar.
+  static void check_wait() {
+    if (nheld_ != 1) {
+      throw std::logic_error(
+          "mpl[checked]: condition-variable wait while holding " +
+          std::to_string(nheld_) +
+          " tracked locks — waiting must hold exactly the condvar's mutex "
+          "(lost-wakeup hazard)");
+    }
+  }
+
+ private:
+  static const char* name(LockLevel level) {
+    switch (level) {
+      case LockLevel::comm_registry: return "comm_registry";
+      case LockLevel::oob_barrier: return "oob_barrier";
+      case LockLevel::mailbox: return "mailbox";
+    }
+    return "?";
+  }
+
+  static thread_local int held_[kMaxHeld];
+  static thread_local int nheld_;
+};
+
+inline thread_local int LockTracker::held_[LockTracker::kMaxHeld] = {};
+inline thread_local int LockTracker::nheld_ = 0;
+
+/// std::mutex wrapper carrying its hierarchy level; satisfies Lockable.
+template <LockLevel Level>
+class CheckedMutex {
+ public:
+  void lock() {
+    mtx_.lock();
+    try {
+      LockTracker::acquired(Level);
+    } catch (...) {
+      mtx_.unlock();
+      throw;
+    }
+  }
+
+  bool try_lock() {
+    if (!mtx_.try_lock()) return false;
+    try {
+      LockTracker::acquired(Level);
+    } catch (...) {
+      mtx_.unlock();
+      throw;
+    }
+    return true;
+  }
+
+  void unlock() {
+    LockTracker::released(Level);
+    mtx_.unlock();
+  }
+
+ private:
+  std::mutex mtx_;
+};
+
+/// Condition variable over CheckedMutex; every wait first proves the
+/// calling thread holds no tracked lock besides the one being released.
+class CheckedCondVar {
+ public:
+  template <typename Lock>
+  void wait(Lock& lk) {
+    LockTracker::check_wait();
+    cv_.wait(lk);
+  }
+
+  template <typename Lock, typename Pred>
+  void wait(Lock& lk, Pred pred) {
+    LockTracker::check_wait();
+    cv_.wait(lk, std::move(pred));
+  }
+
+  template <typename Lock, typename Rep, typename Period, typename Pred>
+  bool wait_for(Lock& lk, const std::chrono::duration<Rep, Period>& dur,
+                Pred pred) {
+    LockTracker::check_wait();
+    return cv_.wait_for(lk, dur, std::move(pred));
+  }
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+#else  // !MPL_CHECKED
+
+template <LockLevel>
+using CheckedMutex = std::mutex;
+using CheckedCondVar = std::condition_variable;
+
+#endif  // MPL_CHECKED
+
+using CommRegistryMutex = CheckedMutex<LockLevel::comm_registry>;
+using OobBarrierMutex = CheckedMutex<LockLevel::oob_barrier>;
+using MailboxMutex = CheckedMutex<LockLevel::mailbox>;
+
+}  // namespace mpl::detail

@@ -23,7 +23,7 @@ void Mailbox::complete(ReqState& r, Message& m) {
               std::to_string(m.payload.size()) + " bytes, receive capacity " +
               std::to_string(capacity) + " bytes)";
     r.null_recv = true;  // suppress model accounting
-    r.done = true;
+    r.done.store(true, std::memory_order_release);
     return;
   }
   const std::size_t got =
@@ -31,11 +31,11 @@ void Mailbox::complete(ReqState& r, Message& m) {
   r.status = Status{m.src, m.tag, got};
   r.depart = m.depart;
   r.from_self = m.from_self;
-  r.done = true;
+  r.done.store(true, std::memory_order_release);
 }
 
 void Mailbox::deliver(Message msg) {
-  std::lock_guard<std::mutex> lock(mtx_);
+  std::lock_guard lock(mtx_);
   for (auto it = posted_.begin(); it != posted_.end(); ++it) {
     if (matches(**it, msg)) {
       complete(**it, msg);
@@ -65,12 +65,12 @@ bool probe_match(const std::deque<Message>& q, std::uint64_t ctx, int src,
 
 bool Mailbox::probe_unexpected(std::uint64_t ctx, int src, int tag,
                                Status* st) {
-  std::lock_guard<std::mutex> lock(mtx_);
+  std::lock_guard lock(mtx_);
   return probe_match(unexpected_, ctx, src, tag, st);
 }
 
 Status Mailbox::wait_probe(std::uint64_t ctx, int src, int tag) {
-  std::unique_lock<std::mutex> lock(mtx_);
+  std::unique_lock lock(mtx_);
   Status st;
   cv_.wait(lock, [&] {
     return probe_match(unexpected_, ctx, src, tag, &st) ||
@@ -83,7 +83,7 @@ Status Mailbox::wait_probe(std::uint64_t ctx, int src, int tag) {
 }
 
 void Mailbox::post_recv(const std::shared_ptr<ReqState>& r) {
-  std::lock_guard<std::mutex> lock(mtx_);
+  std::lock_guard lock(mtx_);
   for (auto it = unexpected_.begin(); it != unexpected_.end(); ++it) {
     if (matches(*r, *it)) {
       complete(*r, *it);
@@ -95,7 +95,7 @@ void Mailbox::post_recv(const std::shared_ptr<ReqState>& r) {
 }
 
 void Mailbox::wait_done(const std::shared_ptr<ReqState>& r) {
-  std::unique_lock<std::mutex> lock(mtx_);
+  std::unique_lock lock(mtx_);
   cv_.wait(lock, [&] {
     return r->done || (abort_flag_ && abort_flag_->load(std::memory_order_relaxed));
   });
@@ -103,12 +103,12 @@ void Mailbox::wait_done(const std::shared_ptr<ReqState>& r) {
 }
 
 bool Mailbox::poll_done(const std::shared_ptr<ReqState>& r) {
-  std::lock_guard<std::mutex> lock(mtx_);
+  std::lock_guard lock(mtx_);
   return r->done;
 }
 
 void Mailbox::notify_abort() {
-  std::lock_guard<std::mutex> lock(mtx_);
+  std::lock_guard lock(mtx_);
   cv_.notify_all();
 }
 

@@ -17,6 +17,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "mpl/checked.hpp"
 #include "mpl/request.hpp"
 
 namespace mpl {
@@ -67,7 +68,7 @@ class Mailbox {
   /// runtime aborts. Used by wait_any and blocking probe.
   template <typename Pred>
   void wait_until(Pred&& pred) {
-    std::unique_lock<std::mutex> lock(mtx_);
+    std::unique_lock lock(mtx_);
     cv_.wait(lock, [&] {
       return pred() ||
              (abort_flag_ && abort_flag_->load(std::memory_order_relaxed));
@@ -92,8 +93,8 @@ class Mailbox {
   static bool matches(const detail::ReqState& r, const detail::Message& m);
   static void complete(detail::ReqState& r, detail::Message& m);
 
-  std::mutex mtx_;
-  std::condition_variable cv_;
+  detail::MailboxMutex mtx_;
+  detail::CheckedCondVar cv_;
   std::deque<detail::Message> unexpected_;
   std::list<std::shared_ptr<detail::ReqState>> posted_;
   const std::atomic<bool>* abort_flag_ = nullptr;

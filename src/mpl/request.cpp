@@ -24,7 +24,7 @@ void account(detail::ReqState& st, Proc& owner) {
 
 Status Request::wait() {
   MPL_REQUIRE(valid(), "wait on invalid request");
-  if (!state_->done) owner_->mailbox().wait_done(state_);
+  if (!state_->done.load(std::memory_order_acquire)) owner_->mailbox().wait_done(state_);
   if (!state_->error.empty()) throw Error(state_->error);
   account(*state_, *owner_);
   return state_->status;
@@ -32,7 +32,10 @@ Status Request::wait() {
 
 bool Request::test(Status* st) {
   MPL_REQUIRE(valid(), "test on invalid request");
-  if (!state_->done && !owner_->mailbox().poll_done(state_)) return false;
+  if (!state_->done.load(std::memory_order_acquire) &&
+      !owner_->mailbox().poll_done(state_)) {
+    return false;
+  }
   if (!state_->error.empty()) throw Error(state_->error);
   account(*state_, *owner_);
   if (st) *st = state_->status;

@@ -8,6 +8,7 @@
 // results deterministic.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <limits>
 #include <memory>
@@ -33,7 +34,12 @@ struct ReqState {
   enum class Kind { send, recv };
 
   Kind kind = Kind::send;
-  bool done = false;
+  /// Completion flag. Written by the delivering thread (under the
+  /// receiver's mailbox lock) and read locklessly by the owner's
+  /// test()/wait() fast path, so it must be atomic; the release store in
+  /// Mailbox::complete() / the acquire load here also order the other
+  /// completion fields (status, error, depart) written before it.
+  std::atomic<bool> done{false};
   bool model_accounted = false;
 
   // Matching criteria (recv only).

@@ -21,12 +21,12 @@ Proc* this_proc() noexcept { return tls_proc; }
 namespace detail {
 
 void RuntimeState::publish_comm(const std::shared_ptr<CommState>& st) {
-  std::lock_guard<std::mutex> lock(comm_mtx_);
+  std::lock_guard lock(comm_mtx_);
   published_.emplace(st->ctx, st);
 }
 
 std::shared_ptr<CommState> RuntimeState::lookup_comm(std::uint64_t ctx) {
-  std::lock_guard<std::mutex> lock(comm_mtx_);
+  std::lock_guard lock(comm_mtx_);
   auto it = published_.find(ctx);
   MPL_REQUIRE(it != published_.end(), "internal: unknown communicator context");
   return it->second;

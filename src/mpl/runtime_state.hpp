@@ -11,6 +11,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "mpl/checked.hpp"
 #include "mpl/netmodel.hpp"
 #include "mpl/proc.hpp"
 
@@ -38,7 +39,7 @@ struct RuntimeState {
   std::shared_ptr<CommState> lookup_comm(std::uint64_t ctx);
 
  private:
-  std::mutex comm_mtx_;
+  CommRegistryMutex comm_mtx_;
   std::unordered_map<std::uint64_t, std::shared_ptr<CommState>> published_;
 };
 
@@ -53,7 +54,7 @@ class OobBarrier {
 
   void arrive_and_wait() {
     using namespace std::chrono_literals;
-    std::unique_lock<std::mutex> lock(mtx_);
+    std::unique_lock lock(mtx_);
     const bool sense = sense_;
     if (++waiting_ == count_) {
       waiting_ = 0;
@@ -69,8 +70,8 @@ class OobBarrier {
   }
 
  private:
-  std::mutex mtx_;
-  std::condition_variable cv_;
+  OobBarrierMutex mtx_;
+  CheckedCondVar cv_;
   int count_;
   int waiting_;
   bool sense_ = false;

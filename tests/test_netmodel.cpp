@@ -151,15 +151,20 @@ TEST(NetModel, MoreMessagesCostMore) {
     mpl::run(
         2,
         [&](Comm& c) {
-          std::vector<int> buf(64 * 1024);
+          // Distinct buffers: the peer's delivery unpacks into recvbuf while
+          // this rank is still packing sends — aliasing them is a data race
+          // (MPI likewise forbids overlapping send/recv buffers).
+          std::vector<int> sendbuf(64 * 1024);
+          std::vector<int> recvbuf(64 * 1024);
           const int peer = 1 - c.rank();
           std::vector<mpl::Request> reqs;
           for (int i = 0; i < nmsg; ++i) {
-            reqs.push_back(c.irecv(buf.data() + i * ints_per_msg, ints_per_msg,
-                                   kInt, peer, 1));
+            reqs.push_back(c.irecv(recvbuf.data() + i * ints_per_msg,
+                                   ints_per_msg, kInt, peer, 1));
           }
           for (int i = 0; i < nmsg; ++i) {
-            c.isend(buf.data() + i * ints_per_msg, ints_per_msg, kInt, peer, 1);
+            c.isend(sendbuf.data() + i * ints_per_msg, ints_per_msg, kInt, peer,
+                    1);
           }
           mpl::wait_all(reqs);
           if (c.rank() == 0) result = c.vclock();

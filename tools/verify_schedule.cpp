@@ -1,0 +1,157 @@
+// Sweep a family of grids and neighborhoods, build the message-combining
+// alltoall and allgather schedules on every rank, and statically verify
+// them — single-rank structural checks (verify_schedule) plus the
+// cross-rank deadlock-freedom/pairing proof (verify_global) — without
+// moving any payload. Exits non-zero when any invariant fails.
+//
+//   verify_schedule [--verbose]
+//
+// --verbose additionally prints rank 0's schedule structure per case.
+#include <cstring>
+#include <iostream>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "cartcomm/cartcomm.hpp"
+#include "mpl/mpl.hpp"
+#include "verify/verify.hpp"
+
+namespace {
+
+struct Case {
+  std::string name;
+  std::vector<int> dims;
+  std::vector<int> periods;
+  cartcomm::Neighborhood nb;
+};
+
+std::vector<Case> sweep_cases() {
+  using cartcomm::Neighborhood;
+  std::vector<Case> cases;
+  cases.push_back({"1d ring, von Neumann", {8}, {1}, Neighborhood::von_neumann(1)});
+  cases.push_back({"1d path (non-periodic), von Neumann+self",
+                   {8}, {0}, Neighborhood::von_neumann(1, true)});
+  cases.push_back({"2d torus 4x3, Moore r=1", {4, 3}, {1, 1}, Neighborhood::moore(2)});
+  cases.push_back({"2d mesh 4x4 (non-periodic), Moore r=1",
+                   {4, 4}, {0, 0}, Neighborhood::moore(2)});
+  cases.push_back({"2d mixed 5x3 (periodic x only), stencil n=3 f=-1",
+                   {5, 3}, {1, 0}, Neighborhood::stencil(2, 3, -1)});
+  cases.push_back({"2d torus 6x4, asymmetric stencil n=2 f=0",
+                   {6, 4}, {1, 1}, Neighborhood::stencil(2, 2, 0)});
+  cases.push_back({"3d torus 3x2x2, von Neumann",
+                   {3, 2, 2}, {1, 1, 1}, Neighborhood::von_neumann(3)});
+  cases.push_back({"3d mesh 3x3x2 (non-periodic), Moore r=1",
+                   {3, 3, 2}, {0, 0, 0}, Neighborhood::moore(3)});
+  // Irregular neighborhood: long hops, a repeated offset, no symmetry.
+  cases.push_back({"2d torus 5x4, irregular {(2,0),(0,1),(-1,-1),(0,0),(2,0),(1,2)}",
+                   {5, 4}, {1, 1},
+                   Neighborhood(2, {2, 0, 0, 1, -1, -1, 0, 0, 2, 0, 1, 2})});
+  cases.push_back({"2d mesh 5x4 (non-periodic), irregular {(2,1),(-1,0),(0,-2),(0,0)}",
+                   {5, 4}, {0, 0},
+                   Neighborhood(2, {2, 1, -1, 0, 0, -2, 0, 0})});
+  return cases;
+}
+
+int product(std::span<const int> v) {
+  int p = 1;
+  for (int x : v) p *= x;
+  return p;
+}
+
+// Build + verify one collective kind on every rank of one case. Returns
+// the number of issues found (and prints them).
+int run_case(const Case& c, cartcomm::ScheduleKind kind, bool verbose) {
+  const int p = product(c.dims);
+  const int t = c.nb.count();
+  const int m = 3;  // ints per block: arbitrary, structure is size-agnostic
+  std::vector<cartcomm::ScheduleSummary> summaries(static_cast<std::size_t>(p));
+  std::vector<cartcomm::VerifyReport> local(static_cast<std::size_t>(p));
+  std::mutex describe_mtx;
+  std::string description;
+
+  mpl::run(p, [&](mpl::Comm& world) {
+    auto cc = cartcomm::cart_neighborhood_create(world, c.dims, c.periods, c.nb);
+    std::vector<int> sendbuf(static_cast<std::size_t>(t) * m, 1);
+    std::vector<int> recvbuf(static_cast<std::size_t>(t) * m, 0);
+    const mpl::Datatype block =
+        mpl::Datatype::contiguous(m, mpl::Datatype::of<int>());
+    cartcomm::Schedule sched;
+    if (kind == cartcomm::ScheduleKind::alltoall) {
+      std::vector<cartcomm::SendBlock> sends(static_cast<std::size_t>(t));
+      std::vector<cartcomm::RecvBlock> recvs(static_cast<std::size_t>(t));
+      for (int i = 0; i < t; ++i) {
+        sends[static_cast<std::size_t>(i)] = {
+            sendbuf.data() + static_cast<std::size_t>(i) * m, 1, block};
+        recvs[static_cast<std::size_t>(i)] = {
+            recvbuf.data() + static_cast<std::size_t>(i) * m, 1, block};
+      }
+      sched = cartcomm::build_alltoall_schedule(cc, sends, recvs);
+    } else {
+      cartcomm::SendBlock send{sendbuf.data(), 1, block};
+      std::vector<cartcomm::RecvBlock> recvs(static_cast<std::size_t>(t));
+      for (int i = 0; i < t; ++i) {
+        recvs[static_cast<std::size_t>(i)] = {
+            recvbuf.data() + static_cast<std::size_t>(i) * m, 1, block};
+      }
+      sched = cartcomm::build_allgather_schedule(cc, send, recvs);
+    }
+    const int r = world.rank();
+    local[static_cast<std::size_t>(r)] = cartcomm::verify_schedule(sched, cc, kind);
+    summaries[static_cast<std::size_t>(r)] = cartcomm::summarize(sched, cc);
+    if (verbose && r == 0) {
+      std::lock_guard lk(describe_mtx);
+      description = sched.describe();
+    }
+  });
+
+  int issues = 0;
+  for (int r = 0; r < p; ++r) {
+    const cartcomm::VerifyReport& rep = local[static_cast<std::size_t>(r)];
+    issues += static_cast<int>(rep.issues.size());
+    for (const auto& i : rep.issues) {
+      std::cout << "    local  " << i.to_string() << '\n';
+    }
+  }
+  const mpl::CartGrid grid(c.dims, c.periods);
+  const cartcomm::VerifyReport global = cartcomm::verify_global(summaries, grid);
+  issues += static_cast<int>(global.issues.size());
+  for (const auto& i : global.issues) {
+    std::cout << "    global " << i.to_string() << '\n';
+  }
+  if (verbose && !description.empty()) std::cout << description;
+  return issues;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool verbose = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--verbose") == 0) {
+      verbose = true;
+    } else {
+      std::cerr << "usage: verify_schedule [--verbose]\n";
+      return 2;
+    }
+  }
+
+  int total_issues = 0;
+  int checked = 0;
+  for (const Case& c : sweep_cases()) {
+    for (const auto kind : {cartcomm::ScheduleKind::alltoall,
+                            cartcomm::ScheduleKind::allgather}) {
+      const char* kname =
+          kind == cartcomm::ScheduleKind::alltoall ? "alltoall " : "allgather";
+      std::cout << "  " << kname << "  " << c.name << " ... " << std::flush;
+      const int before = total_issues;
+      std::cout << '\n';
+      total_issues += run_case(c, kind, verbose);
+      ++checked;
+      if (total_issues == before) std::cout << "    ok\n";
+    }
+  }
+  std::cout << checked << " schedule(s) checked, " << total_issues
+            << " issue(s)\n";
+  return total_issues == 0 ? 0 : 1;
+}
