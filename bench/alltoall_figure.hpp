@@ -17,6 +17,8 @@ namespace figures {
 
 struct FigureConfig {
   const char* title;
+  /// Short identifier used in BENCH_schedule.json and trace section labels.
+  const char* bench_id;
   mpl::NetConfig net;
   /// Behaviour of the library baseline: `direct` models a good library
   /// (Cray MPI, Figure 5); `serialized_rendezvous` models the pathological
@@ -29,6 +31,8 @@ struct FigureConfig {
   /// Figure 5 plot has only the baseline and the combining implementation.
   bool all_variants;
   int reps;
+  /// Tracing/metrics/results options (harness::Options::parse on argv).
+  harness::Options opts;
 };
 
 inline double filtered_mean(std::vector<double> xs, bool titan) {
@@ -37,7 +41,9 @@ inline double filtered_mean(std::vector<double> xs, bool titan) {
       .mean;
 }
 
-inline void run_case(const FigureConfig& cfg, int d, int n) {
+// `trace_case`: the run whose trace/metrics files are written (the driver
+// arms exactly one case — each mpl::run overwrites the output paths).
+inline void run_case(const FigureConfig& cfg, int d, int n, bool trace_case) {
   std::vector<int> dims(static_cast<std::size_t>(d), d == 3 ? 4 : 2);
   int p = 1;
   for (int x : dims) p *= x;
@@ -46,6 +52,7 @@ inline void run_case(const FigureConfig& cfg, int d, int n) {
 
   mpl::RunOptions opts;
   opts.net = cfg.net;
+  if (trace_case) cfg.opts.apply(opts);
   mpl::run(
       p,
       [&](mpl::Comm& world) {
@@ -105,6 +112,27 @@ inline void run_case(const FigureConfig& cfg, int d, int n) {
           const double comb =
               filtered_mean(time([&] { comb_op.execute(); }), cfg.titan_filter);
 
+          if (trace_case && cfg.opts.tracing()) {
+            // One traced execution per block size, each its own section.
+            char label[96];
+            std::snprintf(label, sizeof(label),
+                          "%s alltoall d=%d n=%d m=%d combining", cfg.bench_id,
+                          d, n, m);
+            harness::trace_section(world, label, [&] { comb_op.execute(); });
+          }
+
+          harness::bench_record(world, cfg.bench_id, d, n, m, "neighbor", base);
+          if (cfg.all_variants) {
+            harness::bench_record(world, cfg.bench_id, d, n, m, "ineighbor",
+                                  inb);
+            harness::bench_record(world, cfg.bench_id, d, n, m, "direct",
+                                  direct);
+            harness::bench_record(world, cfg.bench_id, d, n, m, "trivial",
+                                  triv);
+          }
+          harness::bench_record(world, cfg.bench_id, d, n, m, "combining",
+                                comb);
+
           if (world.rank() == 0) {
             if (cfg.all_variants) {
               std::printf(
@@ -132,11 +160,16 @@ inline int run_figure(const FigureConfig& cfg) {
   std::printf("%s\n", cfg.title);
   std::printf("(relative run-time vs the blocking neighborhood baseline in "
               "parentheses; smaller is better)\n");
+  bool first = true;
   for (const int d : {3, 5}) {
     for (const int n : {3, 5}) {
-      run_case(cfg, d, n);
+      run_case(cfg, d, n, first);
+      first = false;
     }
     std::printf("\n");
+  }
+  if (!harness::write_bench_json(cfg.opts.schedule_json, cfg.bench_id)) {
+    return 1;
   }
   return 0;
 }

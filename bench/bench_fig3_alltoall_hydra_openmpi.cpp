@@ -8,15 +8,17 @@
 // symmetric torus is used (see DESIGN.md).
 #include "bench/alltoall_figure.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   figures::FigureConfig cfg;
   cfg.title =
       "Figure 3: Cart_alltoall relative performance "
       "(Hydra/OmniPath model, Open MPI-like baseline)";
+  cfg.bench_id = "fig3";
   cfg.net = mpl::NetConfig::omnipath();
   cfg.baseline_mode = mpl::NeighborAlgorithm::serialized_rendezvous;
   cfg.titan_filter = false;
   cfg.all_variants = true;
   cfg.reps = 5;
+  cfg.opts = harness::Options::parse(argc, argv);
   return figures::run_figure(cfg);
 }

@@ -6,11 +6,12 @@
 // par — which also holds for this model's baseline.
 #include "bench/alltoall_figure.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   figures::FigureConfig cfg;
   cfg.title =
       "Figure 4: Cart_alltoall relative performance "
       "(Hydra/OmniPath model, Intel MPI-like baseline)";
+  cfg.bench_id = "fig4";
   mpl::NetConfig net = mpl::NetConfig::omnipath();
   net.o = 0.5e-6;  // slightly higher software overhead than Open MPI's
   cfg.net = net;
@@ -18,5 +19,6 @@ int main() {
   cfg.titan_filter = false;
   cfg.all_variants = true;
   cfg.reps = 5;
+  cfg.opts = harness::Options::parse(argc, argv);
   return figures::run_figure(cfg);
 }

@@ -7,15 +7,17 @@
 // message-combining implementation, as in the paper.
 #include "bench/alltoall_figure.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   figures::FigureConfig cfg;
   cfg.title =
       "Figure 5: Cart_alltoall relative performance "
       "(Titan/Gemini model, Cray MPI-like direct baseline)";
+  cfg.bench_id = "fig5";
   cfg.net = mpl::NetConfig::gemini();
   cfg.baseline_mode = mpl::NeighborAlgorithm::direct;
   cfg.titan_filter = true;
   cfg.all_variants = false;
   cfg.reps = 6;
+  cfg.opts = harness::Options::parse(argc, argv);
   return figures::run_figure(cfg);
 }

@@ -10,18 +10,20 @@
 #include "bench/harness.hpp"
 #include "cartcomm/cartcomm.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   const int d = 5, n = 5;
   const std::vector<int> dims(5, 2);
   const int p = 32;
   const auto nb = cartcomm::Neighborhood::stencil(d, n, -1);
   const int t = nb.count();
+  const harness::Options bopts = harness::Options::parse(argc, argv);
 
   std::printf("Figure 6 (top): Cart_allgather, d=%d n=%d (t=%d), "
               "Hydra/OmniPath model\n", d, n, t);
 
   mpl::RunOptions opts;
   opts.net = mpl::NetConfig::omnipath();
+  bopts.apply(opts);
   mpl::run(
       p,
       [&](mpl::Comm& world) {
@@ -52,6 +54,20 @@ int main() {
                                                   m, kInt, cc,
                                                   cartcomm::Algorithm::combining);
           const double comb = mean([&] { comb_op.execute(); });
+          if (bopts.tracing()) {
+            char label[64];
+            std::snprintf(label, sizeof(label),
+                          "fig6 allgather d=%d n=%d m=%d combining", d, n, m);
+            harness::trace_section(world, label, [&] { comb_op.execute(); });
+          }
+          harness::bench_record(world, "fig6_allgather", d, n, m, "neighbor",
+                                base);
+          harness::bench_record(world, "fig6_allgather", d, n, m, "ineighbor",
+                                inb);
+          harness::bench_record(world, "fig6_allgather", d, n, m, "trivial",
+                                triv);
+          harness::bench_record(world, "fig6_allgather", d, n, m, "combining",
+                                comb);
           if (world.rank() == 0) {
             std::printf(
                 "m=%3d | neighbor %9.4f ms (1.00) | ineighbor %9.4f ms (%5.2f) "
@@ -64,5 +80,6 @@ int main() {
         }
       },
       opts);
-  return 0;
+  return harness::write_bench_json(bopts.schedule_json, "fig6_allgather") ? 0
+                                                                          : 1;
 }

@@ -9,18 +9,20 @@
 #include "bench/harness.hpp"
 #include "cartcomm/cartcomm.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   const int d = 5, n = 5;
   const std::vector<int> dims(5, 2);
   const int p = 32;
   const auto nb = cartcomm::Neighborhood::stencil(d, n, -1);
   const int t = nb.count();
+  const harness::Options bopts = harness::Options::parse(argc, argv);
 
   std::printf("Figure 6 (bottom): Cart_alltoallv, d=%d n=%d (t=%d), "
               "Titan/Gemini model\n", d, n, t);
 
   mpl::RunOptions opts;
   opts.net = mpl::NetConfig::gemini();
+  bopts.apply(opts);
   mpl::run(
       p,
       [&](mpl::Comm& world) {
@@ -59,6 +61,18 @@ int main() {
                                 counts, displs, kInt, cc,
                                 cartcomm::Algorithm::trivial);
           });
+          if (bopts.tracing()) {
+            char label[64];
+            std::snprintf(label, sizeof(label),
+                          "fig6 alltoallv d=%d n=%d m=%d combining", d, n, m);
+            harness::trace_section(world, label, [&] { comb_op.execute(); });
+          }
+          harness::bench_record(world, "fig6_alltoallv", d, n, m, "neighbor",
+                                base);
+          harness::bench_record(world, "fig6_alltoallv", d, n, m, "trivial",
+                                triv);
+          harness::bench_record(world, "fig6_alltoallv", d, n, m, "combining",
+                                comb);
           if (world.rank() == 0) {
             std::printf(
                 "m=%3d | neighbor_alltoallv %9.4f ms (1.00) | trivial %9.4f ms "
@@ -69,5 +83,6 @@ int main() {
         }
       },
       opts);
-  return 0;
+  return harness::write_bench_json(bopts.schedule_json, "fig6_alltoallv") ? 0
+                                                                          : 1;
 }

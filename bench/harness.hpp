@@ -1,15 +1,141 @@
 // Shared benchmark harness: virtual-clock timing of collective operations
-// and the measurement post-processing of the paper's Appendix A.
+// and the measurement post-processing of the paper's Appendix A, plus the
+// tracing/metrics command line (--trace / --metrics) and the
+// BENCH_schedule.json results dump consumed by tools/bench_to_csv.py.
 #pragma once
 
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
 #include <vector>
 
 #include "mpl/mpl.hpp"
 
 namespace harness {
+
+// ---------------------------------------------------------------------------
+// Command line
+// ---------------------------------------------------------------------------
+
+/// Benchmark command-line options shared by all figure/ablation binaries.
+struct Options {
+  /// Chrome trace-event JSON output (--trace=PATH); empty = tracing off.
+  std::string trace_path;
+  /// Metrics JSON output (--metrics for stdout, --metrics=PATH); empty =
+  /// metrics off.
+  std::string metrics_path;
+  /// Virtual-clock results dump written by every bench run
+  /// (--schedule-json=PATH to relocate, --no-schedule-json to disable).
+  std::string schedule_json = "BENCH_schedule.json";
+
+  [[nodiscard]] bool tracing() const { return !trace_path.empty(); }
+
+  static Options parse(int argc, char** argv) {
+    Options o;
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg.rfind("--trace=", 0) == 0) {
+        o.trace_path = arg.substr(std::strlen("--trace="));
+      } else if (arg == "--metrics") {
+        o.metrics_path = "-";
+      } else if (arg.rfind("--metrics=", 0) == 0) {
+        o.metrics_path = arg.substr(std::strlen("--metrics="));
+      } else if (arg.rfind("--schedule-json=", 0) == 0) {
+        o.schedule_json = arg.substr(std::strlen("--schedule-json="));
+      } else if (arg == "--no-schedule-json") {
+        o.schedule_json.clear();
+      } else {
+        std::fprintf(stderr,
+                     "unknown option %s\n"
+                     "usage: bench [--trace=out.json] [--metrics[=out.json]] "
+                     "[--schedule-json=PATH|--no-schedule-json]\n",
+                     arg.c_str());
+        std::exit(2);
+      }
+    }
+    return o;
+  }
+
+  /// Wire into a run: tracing records only inside trace_section() windows,
+  /// so repetitions and warmups of untraced variants stay out of the file.
+  void apply(mpl::RunOptions& run) const {
+    run.trace.chrome_path = trace_path;
+    run.trace.metrics_path = metrics_path;
+    run.trace.start_enabled = false;
+  }
+};
+
+/// Run `op` once as a named trace section: clocks are reset collectively,
+/// recording is enabled for exactly the duration of the operation, and the
+/// section gets its own process group in the Chrome trace.
+template <typename F>
+void trace_section(const mpl::Comm& comm, const std::string& label, F&& op) {
+  comm.vclock_reset_sync();
+  comm.set_trace_enabled(true);
+  comm.trace_section_begin(label);
+  op();
+  comm.trace_section_end();
+  comm.set_trace_enabled(false);
+  comm.hard_sync();
+}
+
+// ---------------------------------------------------------------------------
+// BENCH_schedule.json (virtual-clock results per figure configuration)
+// ---------------------------------------------------------------------------
+
+/// One measured configuration: the virtual-clock makespan of a collective
+/// variant under a figure's cost model.
+struct BenchRecord {
+  std::string bench;    ///< figure/bench identifier
+  int d = 0;            ///< mesh dimension
+  int n = 0;            ///< stencil parameter (or 0)
+  int m = 0;            ///< block size in elements (or 0)
+  std::string variant;  ///< e.g. "neighbor", "combining"
+  double seconds = 0.0; ///< filtered-mean virtual makespan
+};
+
+/// Collected records of this process. Only rank 0 of a bench run records,
+/// so a plain global needs no synchronization.
+inline std::vector<BenchRecord>& bench_records() {
+  static std::vector<BenchRecord> records;
+  return records;
+}
+
+inline void bench_record(const mpl::Comm& comm, std::string bench, int d,
+                         int n, int m, std::string variant, double seconds) {
+  if (comm.rank() != 0) return;
+  bench_records().push_back(
+      {std::move(bench), d, n, m, std::move(variant), seconds});
+}
+
+/// Write all collected records as JSON; returns false on I/O failure.
+/// Schema: {"kind": "bench-schedule", "bench": ..., "results": [...]}.
+inline bool write_bench_json(const std::string& path,
+                             const std::string& bench) {
+  if (path.empty()) return true;
+  std::ofstream os(path);
+  if (!os) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  os << "{\n  \"kind\": \"bench-schedule\",\n  \"bench\": \"" << bench
+     << "\",\n  \"results\": [";
+  const auto& records = bench_records();
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const BenchRecord& r = records[i];
+    os << (i ? "," : "") << "\n    {\"bench\": \"" << r.bench
+       << "\", \"d\": " << r.d << ", \"n\": " << r.n << ", \"m\": " << r.m
+       << ", \"variant\": \"" << r.variant << "\", \"seconds\": ";
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", r.seconds);
+    os << buf << "}";
+  }
+  os << "\n  ]\n}\n";
+  return os.good();
+}
 
 /// Time `op` for `reps` repetitions under the network cost model. Clocks
 /// are reset before each repetition; the returned per-repetition time is

@@ -3,9 +3,11 @@
 #include <sstream>
 
 #include "mpl/collectives.hpp"
+#include "mpl/comm_state.hpp"
 #include "mpl/error.hpp"
 #include "mpl/proc.hpp"
 #include "mpl/request.hpp"
+#include "trace/trace.hpp"
 
 namespace cartcomm {
 
@@ -27,33 +29,10 @@ void require_null_provenance(const ScheduleRound& r) {
 
 void Schedule::execute(const mpl::Comm& comm) const {
   // Listing 5: within each phase all rounds are independent — launch them
-  // with non-blocking operations and wait for the whole phase.
-  std::size_t i = 0;
-  std::vector<mpl::Request> reqs;
-  for (const int nrounds : phase_rounds_) {
-    reqs.clear();
-    reqs.reserve(static_cast<std::size_t>(nrounds));
-    for (int j = 0; j < nrounds; ++j, ++i) {
-      const ScheduleRound& r = rounds_[i];
-      require_null_provenance(r);
-      if (r.recvrank != mpl::PROC_NULL && r.recvtype.valid() &&
-          r.recvtype.size() > 0) {
-        reqs.push_back(
-            comm.irecv(mpl::BOTTOM, 1, r.recvtype, r.recvrank, kCartTag));
-      }
-      if (r.sendrank != mpl::PROC_NULL && r.sendtype.valid() &&
-          r.sendtype.size() > 0) {
-        comm.isend(mpl::BOTTOM, 1, r.sendtype, r.sendrank, kCartTag);
-      }
-    }
-    mpl::wait_all(reqs);
-  }
-
-  // Final non-communication phase: local block copies.
-  for (const ScheduleCopy& c : copies_) {
-    mpl::copy_typed(mpl::BOTTOM, 1, c.src, mpl::BOTTOM, 1, c.dst);
-    if (comm.model_enabled()) comm.proc().clock().local_copy(c.src.size());
-  }
+  // with non-blocking operations and wait for the whole phase. Blocking
+  // execution is exactly a non-blocking execution driven to completion,
+  // so all instrumentation lives in Execution.
+  start(comm).wait();
 }
 
 Schedule::Execution Schedule::start(const mpl::Comm& comm) const {
@@ -62,41 +41,125 @@ Schedule::Execution Schedule::start(const mpl::Comm& comm) const {
 
 Schedule::Execution::Execution(const Schedule* s, const mpl::Comm& comm)
     : sched_(s), comm_(comm), done_(false) {
+  trace::RankTrace* tr = comm.proc().trace();
+  if (tr && tr->active()) {
+    tr_ = tr;
+    if (tr_->metrics_on()) {
+      tr_->on_schedule_execution(comm_.state()->ctx);
+    }
+  }
   post_phase();  // may already complete everything (no communication)
+}
+
+void Schedule::Execution::begin_phase_scope(int phase) {
+  if (!tr_) return;
+  cur_phase_ = phase;
+  tr_->set_phase(phase);
+  if (tr_->metrics_on()) tr_->on_phase(comm_.state()->ctx);
+  if (tr_->tracing()) {
+    phase_v0_ = comm_.model_enabled() ? comm_.proc().clock().now() : 0.0;
+    phase_w0_ = comm_.proc().tracer()->wall_now();
+  }
+}
+
+// Emit the span event of the phase currently in flight: from its first
+// post to the completion of all its receives. Carries no cost components
+// itself (those live on the send/recv/copy events it encloses), so the
+// attribution sum is never double counted.
+void Schedule::Execution::end_phase_scope() {
+  if (!tr_ || cur_phase_ < 0) return;
+  if (tr_->tracing()) {
+    trace::Event e;
+    e.kind = trace::EventKind::phase;
+    e.phase = cur_phase_;
+    e.ctx = comm_.state()->ctx;
+    e.v_start = phase_v0_;
+    e.v_end = comm_.model_enabled() ? comm_.proc().clock().now() : 0.0;
+    e.w_start = phase_w0_;
+    e.w_end = comm_.proc().tracer()->wall_now();
+    tr_->record(std::move(e));
+  }
+  cur_phase_ = -1;
+  tr_->set_phase(-1);
+  tr_->set_round(-1);
 }
 
 void Schedule::Execution::post_phase() {
   // Post phases until one has pending receives (or all work is done).
   while (pending_.empty()) {
+    end_phase_scope();
     if (phase_ >= sched_->phase_rounds_.size()) {
       finish_copies();
       return;
     }
+    begin_phase_scope(static_cast<int>(phase_));
     const int nrounds = sched_->phase_rounds_[phase_];
     for (int j = 0; j < nrounds; ++j) {
       const ScheduleRound& r = sched_->rounds_[round_base_ + static_cast<std::size_t>(j)];
       require_null_provenance(r);
+      if (tr_) {
+        tr_->set_round(j);
+        if (tr_->metrics_on()) tr_->on_round(comm_.state()->ctx);
+      }
       if (r.recvrank != mpl::PROC_NULL && r.recvtype.valid() &&
           r.recvtype.size() > 0) {
         pending_.push_back(
             comm_.irecv(mpl::BOTTOM, 1, r.recvtype, r.recvrank, kCartTag));
+        pending_round_.push_back(j);
       }
       if (r.sendrank != mpl::PROC_NULL && r.sendtype.valid() &&
           r.sendtype.size() > 0) {
         comm_.isend(mpl::BOTTOM, 1, r.sendtype, r.sendrank, kCartTag);
       }
     }
+    if (tr_) tr_->set_round(-1);
     round_base_ += static_cast<std::size_t>(nrounds);
     ++phase_;
   }
 }
 
 void Schedule::Execution::finish_copies() {
+  // Final non-communication phase: local block copies, scoped one past the
+  // last communication phase.
+  const bool scope = tr_ && !sched_->copies_.empty();
+  if (scope) begin_phase_scope(sched_->phases());
   for (const ScheduleCopy& c : sched_->copies_) {
+    const double v0 = comm_.model_enabled() ? comm_.proc().clock().now() : 0.0;
+    const double w0 =
+        (tr_ && tr_->tracing()) ? comm_.proc().tracer()->wall_now() : 0.0;
     mpl::copy_typed(mpl::BOTTOM, 1, c.src, mpl::BOTTOM, 1, c.dst);
     if (comm_.model_enabled()) comm_.proc().clock().local_copy(c.src.size());
+    if (tr_) {
+      if (tr_->metrics_on()) tr_->on_copy(comm_.state()->ctx, c.src.size());
+      if (tr_->tracing()) {
+        trace::Event e;
+        e.kind = trace::EventKind::copy;
+        e.ctx = comm_.state()->ctx;
+        e.bytes = c.src.size();
+        e.blocks = static_cast<std::uint32_t>(c.src.block_count());
+        e.v_start = v0;
+        e.v_end = comm_.model_enabled() ? comm_.proc().clock().now() : 0.0;
+        e.w_start = w0;
+        e.w_end = comm_.proc().tracer()->wall_now();
+        e.comp[static_cast<int>(trace::Component::copy)] = e.v_end - v0;
+        tr_->record(std::move(e));
+      }
+    }
   }
+  if (scope) end_phase_scope();
   done_ = true;
+}
+
+// Complete pending receives in posting order (deterministic virtual-clock
+// accounting), restoring each one's round scope for its recv_complete event.
+void Schedule::Execution::drain_pending() {
+  for (std::size_t i = 0; i < pending_.size(); ++i) {
+    if (tr_) tr_->set_round(pending_round_[i]);
+    pending_[i].wait();
+  }
+  if (tr_) tr_->set_round(-1);
+  pending_.clear();
+  pending_round_.clear();
 }
 
 bool Schedule::Execution::test() {
@@ -104,8 +167,12 @@ bool Schedule::Execution::test() {
   // Complete any finished receives of the current phase (in order, so the
   // virtual-clock accounting stays deterministic).
   while (!pending_.empty()) {
-    if (!pending_.front().test()) return false;
+    if (tr_) tr_->set_round(pending_round_.front());
+    const bool ok = pending_.front().test();
+    if (tr_) tr_->set_round(-1);
+    if (!ok) return false;
     pending_.erase(pending_.begin());
+    pending_round_.erase(pending_round_.begin());
   }
   post_phase();
   return done_;
@@ -113,8 +180,7 @@ bool Schedule::Execution::test() {
 
 void Schedule::Execution::wait() {
   while (!done_) {
-    mpl::wait_all(pending_);
-    pending_.clear();
+    drain_pending();
     post_phase();
   }
 }
@@ -127,7 +193,22 @@ long long Schedule::send_bytes() const {
   return bytes;
 }
 
-std::string Schedule::describe() const {
+namespace {
+
+// Render one partner rank; PROC_NULL partners are annotated with their
+// provenance so a dump distinguishes an intentional mesh-boundary hole
+// from a rank-computation bug.
+void put_partner(std::ostringstream& os, int rank, bool boundary) {
+  if (rank == mpl::PROC_NULL) {
+    os << (boundary ? "null(boundary)" : "null(UNMARKED)");
+  } else {
+    os << rank;
+  }
+}
+
+}  // namespace
+
+std::string Schedule::dump() const {
   std::ostringstream os;
   os << "schedule: " << phases() << " phases, " << rounds() << " rounds, "
      << send_blocks_ << " blocks sent, " << copies_.size() << " local copies, "
@@ -145,12 +226,21 @@ std::string Schedule::describe() const {
         }
         os << ") ";
       }
-      os << "send->" << r.sendrank << " ["
-         << (r.sendtype.valid() ? r.sendtype.block_count() : 0) << " blk, "
-         << (r.sendtype.valid() ? r.sendtype.size() : 0) << " B]  recv<-"
-         << r.recvrank << " ["
-         << (r.recvtype.valid() ? r.recvtype.block_count() : 0) << " blk, "
-         << (r.recvtype.valid() ? r.recvtype.size() : 0) << " B]\n";
+      os << "send->";
+      put_partner(os, r.sendrank, r.send_boundary);
+      os << " [" << (r.sendtype.valid() ? r.sendtype.block_count() : 0)
+         << " blk, " << (r.sendtype.valid() ? r.sendtype.size() : 0)
+         << " B]  recv<-";
+      put_partner(os, r.recvrank, r.recv_boundary);
+      os << " [" << (r.recvtype.valid() ? r.recvtype.block_count() : 0)
+         << " blk, " << (r.recvtype.valid() ? r.recvtype.size() : 0) << " B]\n";
+    }
+  }
+  if (!copies_.empty()) {
+    os << "  copy phase (" << copies_.size() << " copies)\n";
+    for (std::size_t c = 0; c < copies_.size(); ++c) {
+      os << "    copy " << c << ": " << copies_[c].src.block_count()
+         << " blk, " << copies_[c].src.size() << " B\n";
     }
   }
   return os.str();

@@ -21,6 +21,10 @@
 #include "mpl/datatype.hpp"
 #include "mpl/topology.hpp"
 
+namespace trace {
+class RankTrace;
+}
+
 namespace cartcomm {
 
 /// Reserved tag for schedule traffic (the paper's CARTTAG).
@@ -101,10 +105,15 @@ class Schedule {
   }
   [[nodiscard]] std::size_t temp_bytes() const noexcept;
 
-  /// Human-readable dump of the schedule structure (phases, rounds,
-  /// partner ranks, block counts and bytes per direction) for debugging
-  /// and the schedule_explorer example.
-  [[nodiscard]] std::string describe() const;
+  /// Human-readable dump of the schedule structure: phases, rounds with
+  /// generating offsets, partner ranks (PROC_NULL partners annotated with
+  /// their mesh-boundary provenance), block counts and bytes per direction,
+  /// and the final local-copy phase. Used for debugging, the
+  /// schedule_explorer example, and golden-output tests.
+  [[nodiscard]] std::string dump() const;
+
+  /// Back-compat alias for dump().
+  [[nodiscard]] std::string describe() const { return dump(); }
 
   /// Concatenate several schedules phase-wise into one (rounds of equal
   /// phase index run concurrently) — the schedule-combination facility
@@ -151,13 +160,23 @@ class Schedule::Execution {
   Execution(const Schedule* s, const mpl::Comm& comm);
   void post_phase();
   void finish_copies();
+  void drain_pending();
+  void begin_phase_scope(int phase);
+  void end_phase_scope();
 
   const Schedule* sched_ = nullptr;
   mpl::Comm comm_;
   std::size_t phase_ = 0;       // next phase to post
   std::size_t round_base_ = 0;  // first round index of that phase
   std::vector<mpl::Request> pending_;
+  std::vector<int> pending_round_;  // round scope of each pending receive
   bool done_ = true;
+
+  // Tracing scope (null when neither tracing nor metrics are armed).
+  trace::RankTrace* tr_ = nullptr;
+  int cur_phase_ = -1;          // phase currently in flight
+  double phase_v0_ = 0.0;       // virtual/wall start of that phase
+  double phase_w0_ = 0.0;
 };
 
 /// Incremental builder used by the alltoall/allgather schedule algorithms.

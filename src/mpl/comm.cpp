@@ -7,6 +7,7 @@
 #include "mpl/comm_state.hpp"
 #include "mpl/error.hpp"
 #include "mpl/proc.hpp"
+#include "trace/trace.hpp"
 
 namespace mpl {
 
@@ -15,8 +16,8 @@ namespace {
 // Internal traffic (communicator creation) runs in a shadow context derived
 // from the user context, so it can never match user receives, and bypasses
 // the network cost model (setup is not part of any timed experiment).
-constexpr std::uint64_t kInternalCtxBit = 1ULL << 63;
-constexpr std::uint64_t kCollCtxBit = 1ULL << 62;
+using detail::kCollCtxBit;
+using detail::kInternalCtxBit;
 constexpr int kInternalTag = 0;
 
 std::uint64_t channel_ctx(std::uint64_t ctx, Comm::Channel ch) {
@@ -86,11 +87,49 @@ Request Comm::isend_on(Channel ch, const void* buf, int count,
   msg.from_self = (dest == rank_);
 
   Proc& self = proc();
+  trace::RankTrace* tr = self.trace();
+  const bool tracing = tr && tr->tracing();
+  const double w0 = tracing ? self.tracer()->wall_now() : 0.0;
+  const double v0 = self.clock().enabled() ? self.clock().now() : 0.0;
+  const std::size_t blocks = message_blocks(type, count);
   if (self.clock().enabled()) {
-    msg.depart = msg.from_self ? self.clock().now()
-                               : self.clock().post_send(
-                                     msg.payload.size(),
-                                     message_blocks(type, count));
+    msg.depart = msg.from_self
+                     ? self.clock().now()
+                     : self.clock().post_send(msg.payload.size(), blocks);
+  }
+  if (tr && tr->active()) {
+    if (tr->metrics_on()) {
+      tr->on_send(state_->ctx, msg.payload.size(),
+                  static_cast<std::uint32_t>(blocks), msg.from_self);
+    }
+    if (tracing) {
+      trace::Event e;
+      e.kind = trace::EventKind::send_post;
+      e.peer = dest;
+      e.tag = tag;
+      e.ctx = msg.ctx;
+      e.bytes = msg.payload.size();
+      e.blocks = static_cast<std::uint32_t>(blocks);
+      e.v_start = v0;
+      e.v_end = self.clock().enabled() ? self.clock().now() : 0.0;
+      e.w_start = w0;
+      e.w_end = self.tracer()->wall_now();
+      e.depart = msg.depart;
+      // Mirror post_send() exactly: the posting advance is o + blocks *
+      // o_block (+ packing for non-dense types); the wire gap G is port
+      // time, attributed at the receiver.
+      if (self.clock().enabled() && !msg.from_self) {
+        const auto& cfg = self.clock().config();
+        e.comp[static_cast<int>(trace::Component::o)] = cfg.o;
+        e.comp[static_cast<int>(trace::Component::o_block)] =
+            cfg.o_block * static_cast<double>(blocks);
+        if (blocks > 1) {
+          e.comp[static_cast<int>(trace::Component::G_pack)] =
+              cfg.G_pack * static_cast<double>(msg.payload.size());
+        }
+      }
+      tr->record(std::move(e));
+    }
   }
   state_->members[static_cast<std::size_t>(dest)]->mailbox().deliver(std::move(msg));
   return Request(std::move(st), &self);
@@ -120,8 +159,37 @@ Request Comm::irecv_on(Channel ch, void* buf, int count, const Datatype& type,
   st->type = type;
 
   Proc& self = proc();
+  trace::RankTrace* tr = self.trace();
+  const bool tracing = tr && tr->tracing();
+  const double w0 = tracing ? self.tracer()->wall_now() : 0.0;
+  const double v0 = self.clock().enabled() ? self.clock().now() : 0.0;
+  const std::size_t blocks = message_blocks(type, count);
   if (self.clock().enabled()) {
-    self.clock().post_recv(type.pack_size(count), message_blocks(type, count));
+    self.clock().post_recv(type.pack_size(count), blocks);
+  }
+  if (tracing) {
+    trace::Event e;
+    e.kind = trace::EventKind::recv_post;
+    e.peer = src;
+    e.tag = tag;
+    e.ctx = st->ctx;
+    e.bytes = type.pack_size(count);
+    e.blocks = static_cast<std::uint32_t>(blocks);
+    e.v_start = v0;
+    e.v_end = self.clock().enabled() ? self.clock().now() : 0.0;
+    e.w_start = w0;
+    e.w_end = self.tracer()->wall_now();
+    if (self.clock().enabled()) {
+      const auto& cfg = self.clock().config();
+      e.comp[static_cast<int>(trace::Component::o)] = cfg.o;
+      e.comp[static_cast<int>(trace::Component::o_block)] =
+          cfg.o_block * static_cast<double>(blocks);
+      if (blocks > 1) {
+        e.comp[static_cast<int>(trace::Component::G_pack)] =
+            cfg.G_pack * static_cast<double>(type.pack_size(count));
+      }
+    }
+    tr->record(std::move(e));
   }
   self.mailbox().post_recv(st);
   return Request(std::move(st), &self);
@@ -339,5 +407,41 @@ void Comm::vclock_reset_sync() const {
 }
 
 bool Comm::model_enabled() const { return proc().clock().enabled(); }
+
+// ---------------------------------------------------------------------------
+// Tracing / metrics
+// ---------------------------------------------------------------------------
+
+bool Comm::trace_active() const {
+  const trace::RankTrace* tr = proc().trace();
+  return tr && tr->tracing();
+}
+
+void Comm::set_trace_enabled(bool on) const {
+  if (trace::RankTrace* tr = proc().trace()) tr->set_tracing(on);
+}
+
+int Comm::trace_section_begin(const std::string& label) const {
+  trace::RankTrace* tr = proc().trace();
+  if (!tr) return -1;
+  Proc& self = proc();
+  const double v = self.clock().enabled() ? self.clock().now() : 0.0;
+  return tr->begin_section(label, v, self.tracer()->wall_now());
+}
+
+void Comm::trace_section_end() const {
+  trace::RankTrace* tr = proc().trace();
+  if (!tr) return;
+  Proc& self = proc();
+  const double v = self.clock().enabled() ? self.clock().now() : 0.0;
+  tr->end_section(v, self.tracer()->wall_now());
+}
+
+const trace::Counters* Comm::metrics() const {
+  MPL_REQUIRE(valid(), "metrics on invalid communicator");
+  trace::RankTrace* tr = proc().trace();
+  if (!tr || !tr->metrics_on()) return nullptr;
+  return &tr->counters(state_->ctx);
+}
 
 }  // namespace mpl

@@ -9,10 +9,15 @@
 #pragma once
 
 #include <memory>
+#include <string>
 
 #include "mpl/datatype.hpp"
 #include "mpl/mailbox.hpp"
 #include "mpl/request.hpp"
+
+namespace trace {
+struct Counters;
+}
 
 namespace mpl {
 
@@ -121,6 +126,25 @@ class Comm {
 
   /// True when a network cost model is active.
   [[nodiscard]] bool model_enabled() const;
+
+  // -- tracing / metrics -----------------------------------------------------
+
+  /// True when this process is currently recording trace events.
+  [[nodiscard]] bool trace_active() const;
+
+  /// Toggle event recording for this process. No-op unless event tracing
+  /// was armed for the run (RunOptions::trace / MPL_TRACE).
+  void set_trace_enabled(bool on) const;
+
+  /// Open a named trace section (one collective execution window; its own
+  /// process group in the Chrome trace). Returns the section id, or -1
+  /// when tracing is not armed.
+  int trace_section_begin(const std::string& label) const;
+  void trace_section_end() const;
+
+  /// This process' metrics for this communicator (all channels aggregated
+  /// under the base context). Null when metrics are not armed.
+  [[nodiscard]] const trace::Counters* metrics() const;
 
   // -- internal access (used by collectives/topology layers) ----------------
 

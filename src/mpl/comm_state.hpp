@@ -12,6 +12,14 @@ class Comm;
 
 namespace detail {
 
+// Matching-context channel bits. Internal traffic (communicator creation)
+// and collective traffic run in shadow contexts derived from the user
+// context by setting these bits; metrics keying strips them so all traffic
+// of one communicator aggregates under its base context id.
+inline constexpr std::uint64_t kInternalCtxBit = 1ULL << 63;
+inline constexpr std::uint64_t kCollCtxBit = 1ULL << 62;
+inline constexpr std::uint64_t kCtxBaseMask = ~(kInternalCtxBit | kCollCtxBit);
+
 struct CommState {
   std::uint64_t ctx = 0;
   std::vector<Proc*> members;  // comm rank -> process

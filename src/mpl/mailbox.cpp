@@ -1,6 +1,7 @@
 #include "mpl/mailbox.hpp"
 
 #include "mpl/error.hpp"
+#include "trace/trace.hpp"
 
 namespace mpl {
 
@@ -30,11 +31,13 @@ void Mailbox::complete(ReqState& r, Message& m) {
       r.type.unpack_partial(m.payload.data(), m.payload.size(), r.base, r.count);
   r.status = Status{m.src, m.tag, got};
   r.depart = m.depart;
+  r.arrive_wall = m.arrive_wall;
   r.from_self = m.from_self;
   r.done.store(true, std::memory_order_release);
 }
 
 void Mailbox::deliver(Message msg) {
+  if (tracer_) msg.arrive_wall = tracer_->wall_now();
   std::lock_guard lock(mtx_);
   for (auto it = posted_.begin(); it != posted_.end(); ++it) {
     if (matches(**it, msg)) {

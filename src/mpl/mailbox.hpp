@@ -20,6 +20,10 @@
 #include "mpl/checked.hpp"
 #include "mpl/request.hpp"
 
+namespace trace {
+class Tracer;
+}
+
 namespace mpl {
 
 /// Wildcard source rank (MPI_ANY_SOURCE analogue).
@@ -38,6 +42,7 @@ struct Message {
   int tag = -1;
   std::vector<std::byte> payload;
   double depart = 0.0;  // sender virtual-clock stamp
+  double arrive_wall = -1.0;  // wall time of mailbox delivery (tracing only)
   bool from_self = false;
 };
 
@@ -47,6 +52,10 @@ class Mailbox {
  public:
   /// Install the runtime-wide abort flag consulted by blocking waits.
   void set_abort_flag(const std::atomic<bool>* flag) { abort_flag_ = flag; }
+
+  /// Install the wall-clock source used to stamp message arrivals. Only
+  /// set when event tracing is armed; null keeps delivery stamp-free.
+  void set_tracer(const trace::Tracer* t) { tracer_ = t; }
 
   /// Deliver a message (called by the sending thread). If a matching
   /// receive is posted, the payload is unpacked into its buffer and the
@@ -98,6 +107,7 @@ class Mailbox {
   std::deque<detail::Message> unexpected_;
   std::list<std::shared_ptr<detail::ReqState>> posted_;
   const std::atomic<bool>* abort_flag_ = nullptr;
+  const trace::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace mpl

@@ -86,18 +86,36 @@ class NetClock {
     if (blocks > 1) now_ += cfg_.G_pack * static_cast<double>(bytes);
   }
 
+  /// Cost breakdown of one receive completion, exposed for the tracing
+  /// layer's critical-path attribution. Purely informational: filling it
+  /// never changes the clock arithmetic.
+  struct RecvTiming {
+    double latency = 0.0;  ///< sampled latency (incl. jitter/tail)
+    double g = 0.0;        ///< per-byte wire time G * bytes
+    double copy = 0.0;     ///< self-message copy cost
+    double ready = 0.0;    ///< completion timestamp returned
+  };
+
   /// Account for the arrival of a message stamped `depart`; returns the time
   /// at which its last byte is available at this process.
-  double complete_recv(double depart, std::size_t bytes, bool from_self) {
+  double complete_recv(double depart, std::size_t bytes, bool from_self,
+                       RecvTiming* timing = nullptr) {
     double ready;
     if (from_self) {
       // Self-messages never touch the network: a memory copy.
       ready = depart + cfg_.copy * static_cast<double>(bytes);
+      if (timing) timing->copy = cfg_.copy * static_cast<double>(bytes);
     } else {
-      const double arrive = std::max(depart + latency_sample(), recv_busy_);
+      const double l = latency_sample();
+      const double arrive = std::max(depart + l, recv_busy_);
       ready = arrive + cfg_.G * static_cast<double>(bytes);
       recv_busy_ = ready;
+      if (timing) {
+        timing->latency = l;
+        timing->g = cfg_.G * static_cast<double>(bytes);
+      }
     }
+    if (timing) timing->ready = ready;
     return ready;
   }
 

@@ -4,6 +4,11 @@
 #include "mpl/mailbox.hpp"
 #include "mpl/netmodel.hpp"
 
+namespace trace {
+class RankTrace;
+class Tracer;
+}
+
 namespace mpl {
 
 namespace detail {
@@ -21,11 +26,23 @@ class Proc {
   NetClock& clock() noexcept { return clock_; }
   detail::RuntimeState& runtime() noexcept { return *rt_; }
 
+  /// Per-rank trace/metrics recorder; null when nothing is armed, which is
+  /// the single-branch gate every instrumentation site checks first.
+  [[nodiscard]] trace::RankTrace* trace() const noexcept { return trace_; }
+  /// Run-wide tracer (wall clock source); null when nothing is armed.
+  [[nodiscard]] const trace::Tracer* tracer() const noexcept { return tracer_; }
+
   /// Internal: called once by the runtime before the process thread starts.
   void init(int world_rank, int world_size, detail::RuntimeState* rt) {
     world_rank_ = world_rank;
     world_size_ = world_size;
     rt_ = rt;
+  }
+
+  /// Internal: wire the recorder (runtime, before the thread starts).
+  void set_trace(trace::RankTrace* t, const trace::Tracer* tracer) noexcept {
+    trace_ = t;
+    tracer_ = tracer;
   }
 
  private:
@@ -34,6 +51,8 @@ class Proc {
   Mailbox mailbox_;
   NetClock clock_;
   detail::RuntimeState* rt_ = nullptr;
+  trace::RankTrace* trace_ = nullptr;
+  const trace::Tracer* tracer_ = nullptr;
 };
 
 /// The Proc driven by the calling thread; null outside mpl::run().

@@ -1,7 +1,11 @@
 #include "mpl/request.hpp"
 
+#include <algorithm>
+
+#include "mpl/comm_state.hpp"
 #include "mpl/error.hpp"
 #include "mpl/proc.hpp"
+#include "trace/trace.hpp"
 
 namespace mpl {
 
@@ -10,21 +14,95 @@ namespace {
 // Perform the (idempotent) network-model accounting for a completed
 // request on its owning process. Receive completions advance the owner's
 // virtual clock past the arrival of the message; sends complete locally.
+//
+// This is also the recv-side instrumentation point: the virtual-clock
+// advance caused here is decomposed into G (wire time), L (latency) and
+// idle (the message was not ready yet — but the receiver's clock was
+// already past parts of its flight), or copy for self-messages, such that
+// the components sum *exactly* to the advance. That exactness is what lets
+// tools/trace_report rebuild a collective's makespan from the critical
+// rank's components.
 void account(detail::ReqState& st, Proc& owner) {
   if (st.model_accounted) return;
   st.model_accounted = true;
   if (st.kind != detail::ReqState::Kind::recv || st.null_recv) return;
-  if (!owner.clock().enabled()) return;
-  const double done_at =
-      owner.clock().complete_recv(st.depart, st.status.bytes, st.from_self);
-  owner.clock().advance_to(done_at);
+
+  trace::RankTrace* tr = owner.trace();
+  const bool active = tr && tr->active();
+  const bool tracing = tr && tr->tracing();
+  NetClock& clk = owner.clock();
+
+  const double w0 = tracing ? owner.tracer()->wall_now() : 0.0;
+  double v0 = 0.0;
+  double advance = 0.0;
+  std::array<double, trace::kComponents> comp{};
+  if (clk.enabled()) {
+    v0 = clk.now();
+    NetClock::RecvTiming timing;
+    const double done_at = clk.complete_recv(st.depart, st.status.bytes,
+                                             st.from_self,
+                                             active ? &timing : nullptr);
+    clk.advance_to(done_at);
+    advance = clk.now() - v0;
+    if (active) {
+      if (st.from_self) {
+        auto& copy = comp[static_cast<int>(trace::Component::copy)];
+        copy = std::min(advance, timing.copy);
+        comp[static_cast<int>(trace::Component::idle)] = advance - copy;
+      } else {
+        // Attribute the advance back-to-front: the final G*bytes of the
+        // flight are wire time, the preceding stretch (up to the sampled
+        // latency) is L, and whatever of the flight this process had
+        // already sat out shows up as idle.
+        auto& g = comp[static_cast<int>(trace::Component::G)];
+        g = std::min(advance, timing.g);
+        const double rem = advance - g;
+        auto& l = comp[static_cast<int>(trace::Component::L)];
+        l = std::min(rem, timing.latency);
+        comp[static_cast<int>(trace::Component::idle)] = rem - l;
+      }
+    }
+  }
+  if (!active) return;
+
+  const std::uint64_t base_ctx = st.ctx & detail::kCtxBaseMask;
+  if (tr->metrics_on()) {
+    tr->on_recv_complete(base_ctx, st.status.bytes,
+                         comp[static_cast<int>(trace::Component::idle)]);
+  }
+  if (tracing) {
+    trace::Event e;
+    e.kind = trace::EventKind::recv_complete;
+    e.peer = st.status.source;
+    e.tag = st.status.tag;
+    e.ctx = st.ctx;
+    e.bytes = st.status.bytes;
+    e.v_start = v0;
+    e.v_end = v0 + advance;
+    e.w_start = w0;
+    e.w_end = owner.tracer()->wall_now();
+    e.depart = st.depart;
+    e.arrive_wall = st.arrive_wall;
+    e.comp = comp;
+    tr->record(std::move(e));
+  }
 }
 
 }  // namespace
 
 Status Request::wait() {
   MPL_REQUIRE(valid(), "wait on invalid request");
-  if (!state_->done.load(std::memory_order_acquire)) owner_->mailbox().wait_done(state_);
+  if (!state_->done.load(std::memory_order_acquire)) {
+    trace::RankTrace* tr = owner_->trace();
+    if (tr && tr->metrics_on()) {
+      const double w0 = owner_->tracer()->wall_now();
+      owner_->mailbox().wait_done(state_);
+      tr->on_wait_wall(state_->ctx & detail::kCtxBaseMask,
+                       owner_->tracer()->wall_now() - w0);
+    } else {
+      owner_->mailbox().wait_done(state_);
+    }
+  }
   if (!state_->error.empty()) throw Error(state_->error);
   account(*state_, *owner_);
   return state_->status;

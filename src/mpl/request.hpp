@@ -55,6 +55,7 @@ struct ReqState {
   // Completion info.
   Status status;
   double depart = 0.0;   // virtual departure stamp of the matched message
+  double arrive_wall = -1.0;  // wall stamp of mailbox delivery (tracing only)
   bool from_self = false;
   bool null_recv = false;  // recv from PROC_NULL: completes immediately
 

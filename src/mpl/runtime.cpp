@@ -41,12 +41,32 @@ void run(int nprocs, const std::function<void(Comm&)>& fn,
 
   detail::RuntimeState rt;
   rt.net = opts.net;
+
+  trace::TraceConfig tcfg = opts.trace;
+  tcfg.apply_env();
+  rt.tracer.configure(tcfg, nprocs);
+  rt.tracer.set_model_meta(
+      {{"o", opts.net.o},
+       {"L", opts.net.L},
+       {"G", opts.net.G},
+       {"copy", opts.net.copy},
+       {"o_block", opts.net.o_block},
+       {"G_pack", opts.net.G_pack},
+       {"jitter", opts.net.jitter},
+       {"tail_prob", opts.net.tail_prob},
+       {"tail", opts.net.tail}},
+      opts.net.enabled);
+
   rt.procs.reserve(static_cast<std::size_t>(nprocs));
   for (int r = 0; r < nprocs; ++r) {
     auto p = std::make_unique<Proc>();
     p->init(r, nprocs, &rt);
     p->clock().configure(opts.net, r);
     p->mailbox().set_abort_flag(&rt.abort);
+    p->set_trace(rt.tracer.rank(r), rt.tracer.armed() ? &rt.tracer : nullptr);
+    // Arrival stamping costs one wall-clock read per message; only wire it
+    // when event tracing is on.
+    if (rt.tracer.trace_armed()) p->mailbox().set_tracer(&rt.tracer);
     rt.procs.push_back(std::move(p));
   }
 
@@ -82,6 +102,10 @@ void run(int nprocs, const std::function<void(Comm&)>& fn,
   for (auto& t : threads) t.join();
 
   if (first_error) std::rethrow_exception(first_error);
+
+  // All process threads joined: the per-rank rings are safe to read.
+  const std::string trace_error = rt.tracer.flush();
+  if (!trace_error.empty()) throw Error(trace_error);
 }
 
 }  // namespace mpl

@@ -5,6 +5,7 @@
 #include <functional>
 
 #include "mpl/netmodel.hpp"
+#include "trace/trace.hpp"
 
 namespace mpl {
 
@@ -13,6 +14,11 @@ class Comm;
 struct RunOptions {
   /// Network cost model; off() means wall-clock mode.
   NetConfig net = NetConfig::off();
+  /// Tracing/metrics configuration. Environment variables (MPL_TRACE,
+  /// MPL_METRICS, MPL_TRACE_CAPACITY) override these fields; with neither
+  /// set, tracing is fully disarmed and costs one null-pointer check per
+  /// instrumentation site. Output files are written when run() returns.
+  trace::TraceConfig trace;
 };
 
 /// Run `fn` on `nprocs` simulated processes. Each process receives its own

@@ -14,6 +14,7 @@
 #include "mpl/checked.hpp"
 #include "mpl/netmodel.hpp"
 #include "mpl/proc.hpp"
+#include "trace/trace.hpp"
 
 namespace mpl::detail {
 
@@ -24,6 +25,7 @@ struct RuntimeState {
   std::atomic<std::uint64_t> next_ctx{1};  // 0 is the world context
   std::atomic<bool> abort{false};
   NetConfig net;
+  trace::Tracer tracer;
 
   Proc& proc(int world_rank) { return *procs[static_cast<std::size_t>(world_rank)]; }
 

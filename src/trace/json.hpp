@@ -1,0 +1,85 @@
+// Minimal JSON value + recursive-descent parser.
+//
+// Just enough JSON for the tracing layer's own documents: tools/trace_report
+// and the tests read back the Chrome-trace and metrics files written by
+// trace::Tracer. Objects preserve no duplicate keys (last wins), numbers are
+// doubles, and parse errors throw std::runtime_error with an offset.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace trace::json {
+
+class Value;
+using Array = std::vector<Value>;
+using Object = std::map<std::string, Value>;
+
+class Value {
+ public:
+  Value() : v_(nullptr) {}
+  Value(std::nullptr_t) : v_(nullptr) {}
+  Value(bool b) : v_(b) {}
+  Value(double d) : v_(d) {}
+  Value(std::string s) : v_(std::move(s)) {}
+  Value(Array a) : v_(std::move(a)) {}
+  Value(Object o) : v_(std::move(o)) {}
+
+  [[nodiscard]] bool is_null() const { return std::holds_alternative<std::nullptr_t>(v_); }
+  [[nodiscard]] bool is_bool() const { return std::holds_alternative<bool>(v_); }
+  [[nodiscard]] bool is_number() const { return std::holds_alternative<double>(v_); }
+  [[nodiscard]] bool is_string() const { return std::holds_alternative<std::string>(v_); }
+  [[nodiscard]] bool is_array() const { return std::holds_alternative<Array>(v_); }
+  [[nodiscard]] bool is_object() const { return std::holds_alternative<Object>(v_); }
+
+  [[nodiscard]] bool as_bool() const { return std::get<bool>(v_); }
+  [[nodiscard]] double as_number() const { return std::get<double>(v_); }
+  [[nodiscard]] const std::string& as_string() const {
+    return std::get<std::string>(v_);
+  }
+  [[nodiscard]] const Array& as_array() const { return std::get<Array>(v_); }
+  [[nodiscard]] const Object& as_object() const { return std::get<Object>(v_); }
+
+  /// Object member access; throws when missing or not an object.
+  [[nodiscard]] const Value& at(const std::string& key) const {
+    const Object& o = as_object();
+    auto it = o.find(key);
+    if (it == o.end()) throw std::runtime_error("json: missing key " + key);
+    return it->second;
+  }
+
+  /// True when this is an object that has `key`.
+  [[nodiscard]] bool has(const std::string& key) const {
+    return is_object() && as_object().count(key) != 0;
+  }
+
+  /// Number lookup with default (missing key or non-number -> fallback).
+  [[nodiscard]] double num_or(const std::string& key, double fallback) const {
+    if (!has(key)) return fallback;
+    const Value& v = at(key);
+    return v.is_number() ? v.as_number() : fallback;
+  }
+
+  [[nodiscard]] std::string str_or(const std::string& key,
+                                   std::string fallback) const {
+    if (!has(key)) return fallback;
+    const Value& v = at(key);
+    return v.is_string() ? v.as_string() : fallback;
+  }
+
+ private:
+  std::variant<std::nullptr_t, bool, double, std::string, Array, Object> v_;
+};
+
+/// Parse a complete JSON document (throws std::runtime_error on error).
+Value parse(std::string_view text);
+
+/// Parse the contents of a file (throws on I/O or parse errors).
+Value parse_file(const std::string& path);
+
+}  // namespace trace::json

@@ -1,0 +1,172 @@
+#include "trace/report.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <map>
+#include <sstream>
+
+namespace trace {
+
+double PhaseBreakdown::total() const {
+  double t = 0.0;
+  for (const double c : comp) t += c;
+  return t;
+}
+
+namespace {
+
+struct RankAgg {
+  std::map<int, std::array<double, kComponents>> by_phase;
+  std::array<double, kComponents> comp_total{};
+  double min_start = std::numeric_limits<double>::infinity();
+  double max_end = -std::numeric_limits<double>::infinity();
+  std::string label;
+};
+
+}  // namespace
+
+std::vector<SectionReport> analyze(const json::Value& doc) {
+  const bool virtual_clock =
+      !doc.has("otherData") ||
+      doc.at("otherData").str_or("clock", "virtual") == "virtual";
+
+  // section -> rank -> aggregate
+  std::map<int, std::map<int, RankAgg>> sections;
+  for (const json::Value& ev : doc.at("traceEvents").as_array()) {
+    if (ev.str_or("ph", "") != "X" || !ev.has("args")) continue;
+    const json::Value& a = ev.at("args");
+    const int section = static_cast<int>(a.num_or("section", -1));
+    const int rank = static_cast<int>(ev.num_or("tid", -1));
+    RankAgg& agg = sections[section][rank];
+    const double start =
+        virtual_clock ? a.num_or("v_start", 0.0) : a.num_or("w_start", 0.0);
+    const double end =
+        virtual_clock ? a.num_or("v_end", 0.0) : a.num_or("w_end", 0.0);
+    agg.min_start = std::min(agg.min_start, start);
+    agg.max_end = std::max(agg.max_end, end);
+    if (a.str_or("kind", "") == "section_begin") {
+      agg.label = a.str_or("label", "");
+    }
+    const int phase = static_cast<int>(a.num_or("phase", -1));
+    auto& pc = agg.by_phase[phase];
+    for (int c = 0; c < kComponents; ++c) {
+      const double v = a.num_or(component_name(c), 0.0);
+      pc[static_cast<std::size_t>(c)] += v;
+      agg.comp_total[static_cast<std::size_t>(c)] += v;
+    }
+  }
+
+  std::vector<SectionReport> out;
+  for (auto& [section, ranks] : sections) {
+    SectionReport rep;
+    rep.section = section;
+    rep.nranks = static_cast<int>(ranks.size());
+    rep.virtual_clock = virtual_clock;
+
+    // Section origin: earliest event start across ranks (virtual clocks are
+    // reset at section start, so this is ~0 for bench sections).
+    double origin = std::numeric_limits<double>::infinity();
+    for (const auto& [rank, agg] : ranks) {
+      origin = std::min(origin, agg.min_start);
+      if (!agg.label.empty() && rep.label.empty()) rep.label = agg.label;
+    }
+    if (!std::isfinite(origin)) origin = 0.0;
+
+    for (const auto& [rank, agg] : ranks) {
+      const double end =
+          (std::isfinite(agg.max_end) ? agg.max_end : origin) - origin;
+      if (end > rep.makespan) {
+        rep.makespan = end;
+        rep.critical_rank = rank;
+      }
+    }
+    if (rep.critical_rank < 0 && !ranks.empty()) {
+      rep.critical_rank = ranks.begin()->first;
+    }
+
+    if (auto it = ranks.find(rep.critical_rank); it != ranks.end()) {
+      const RankAgg& crit = it->second;
+      rep.comp_total = crit.comp_total;
+      for (const auto& [phase, comps] : crit.by_phase) {
+        PhaseBreakdown pb;
+        pb.phase = phase;
+        pb.comp = comps;
+        rep.phases.push_back(pb);
+      }
+      for (const double c : rep.comp_total) rep.attributed += c;
+    }
+    rep.unattributed = std::max(0.0, rep.makespan - rep.attributed);
+    out.push_back(std::move(rep));
+  }
+  return out;
+}
+
+std::vector<SectionReport> analyze_file(const std::string& path) {
+  return analyze(json::parse_file(path));
+}
+
+namespace {
+
+void put_row(std::ostringstream& os, const std::string& head,
+             const std::array<double, kComponents>& comp, double total) {
+  char buf[64];
+  os << "  " << head;
+  for (std::size_t i = head.size(); i < 12; ++i) os << ' ';
+  for (const double c : comp) {
+    std::snprintf(buf, sizeof(buf), " %10.3f", c * 1e6);
+    os << buf;
+  }
+  std::snprintf(buf, sizeof(buf), " %11.3f\n", total * 1e6);
+  os << buf;
+}
+
+}  // namespace
+
+std::string format(const std::vector<SectionReport>& reports) {
+  std::ostringstream os;
+  char buf[160];
+  if (reports.empty()) {
+    os << "trace_report: no events in trace\n";
+    return os.str();
+  }
+  for (const SectionReport& r : reports) {
+    os << "section " << r.section;
+    if (!r.label.empty()) os << " \"" << r.label << "\"";
+    std::snprintf(buf, sizeof(buf),
+                  " — %d ranks, makespan %.3f us (%s clock), critical rank %d\n",
+                  r.nranks, r.makespan * 1e6,
+                  r.virtual_clock ? "virtual" : "wall", r.critical_rank);
+    os << buf;
+    if (!r.virtual_clock) {
+      os << "  (network model was off: wall-clock spans only, no LogGP "
+            "attribution)\n";
+      continue;
+    }
+    os << "  phase       ";
+    for (int c = 0; c < kComponents; ++c) {
+      std::snprintf(buf, sizeof(buf), " %10s", component_name(c));
+      os << buf;
+    }
+    os << "       total\n";
+    for (const PhaseBreakdown& pb : r.phases) {
+      const std::string head =
+          pb.phase < 0 ? std::string("(outside)") : std::to_string(pb.phase);
+      put_row(os, head, pb.comp, pb.total());
+    }
+    if (r.unattributed > 0.0) {
+      std::array<double, kComponents> none{};
+      put_row(os, "(residue)", none, r.unattributed);
+    }
+    put_row(os, "total", r.comp_total, r.attributed + r.unattributed);
+    const double pct =
+        r.makespan > 0.0 ? 100.0 * r.attributed / r.makespan : 100.0;
+    std::snprintf(buf, sizeof(buf),
+                  "  attribution covers %.2f%% of the makespan\n", pct);
+    os << buf;
+  }
+  return os.str();
+}
+
+}  // namespace trace

@@ -1,0 +1,51 @@
+// LogGP critical-path attribution over a recorded Chrome trace.
+//
+// Replays the events written by trace::Tracer and decomposes each traced
+// section's virtual-clock makespan into the cost-model components
+// (o / L / G / o_block / G_pack / copy / idle), per schedule phase, along
+// the critical (slowest) rank. Because every event's component vector sums
+// exactly to the virtual-clock advance it caused, the per-phase totals of
+// the critical rank reproduce the section's makespan; any residue (clock
+// advances outside instrumented paths) is reported as "unattributed".
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "trace/json.hpp"
+#include "trace/trace.hpp"
+
+namespace trace {
+
+/// Component sums for one schedule phase of the critical rank.
+struct PhaseBreakdown {
+  int phase = -1;  ///< -1: events outside any schedule phase
+  std::array<double, kComponents> comp{};
+  [[nodiscard]] double total() const;
+};
+
+/// Attribution of one traced section (one collective execution window).
+struct SectionReport {
+  int section = -1;
+  std::string label;
+  int nranks = 0;
+  int critical_rank = -1;
+  double makespan = 0.0;     ///< virtual seconds (max rank end time)
+  double attributed = 0.0;   ///< component sum along the critical rank
+  double unattributed = 0.0; ///< makespan - attributed (>= 0 residue)
+  bool virtual_clock = true; ///< false: model off, wall spans reported
+  std::vector<PhaseBreakdown> phases;
+  std::array<double, kComponents> comp_total{};
+};
+
+/// Analyze a parsed Chrome trace document (as written by Tracer).
+std::vector<SectionReport> analyze(const json::Value& doc);
+
+/// Convenience: parse + analyze a trace file.
+std::vector<SectionReport> analyze_file(const std::string& path);
+
+/// Render reports as the human-readable table trace_report prints.
+std::string format(const std::vector<SectionReport>& reports);
+
+}  // namespace trace

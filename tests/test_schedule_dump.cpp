@@ -1,0 +1,100 @@
+// Golden-output test for Schedule::dump(): phase/round structure, partner
+// provenance for PROC_NULL (mesh boundary vs unmarked), and the local-copy
+// phase listing.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "cartcomm/cartcomm.hpp"
+#include "mpl/mpl.hpp"
+
+using cartcomm::Neighborhood;
+using cartcomm::Schedule;
+
+namespace {
+
+const mpl::Datatype kInt = mpl::Datatype::of<int>();
+
+// Build the 5-point-with-self alltoall schedule (m ints per neighbor) for
+// this process on the given mesh/torus and return its dump.
+std::string dump_5point(mpl::Comm& world, const std::vector<int>& dims,
+                        const std::vector<int>& periods, int m) {
+  const Neighborhood nb = Neighborhood::von_neumann(2, /*include_self=*/true);
+  auto cc = cartcomm::cart_neighborhood_create(world, dims, periods, nb);
+  const int t = nb.count();
+  std::vector<int> sb(static_cast<std::size_t>(t * m), world.rank());
+  std::vector<int> rb(static_cast<std::size_t>(t * m), -1);
+  std::vector<cartcomm::SendBlock> sends(static_cast<std::size_t>(t));
+  std::vector<cartcomm::RecvBlock> recvs(static_cast<std::size_t>(t));
+  for (int i = 0; i < t; ++i) {
+    sends[static_cast<std::size_t>(i)] = {&sb[static_cast<std::size_t>(i * m)],
+                                          m, kInt};
+    recvs[static_cast<std::size_t>(i)] = {&rb[static_cast<std::size_t>(i * m)],
+                                          m, kInt};
+  }
+  Schedule s = cartcomm::build_alltoall_schedule(cc, sends, recvs);
+  s.execute(cc.comm());  // golden structure must describe a working plan
+  return s.dump();
+}
+
+}  // namespace
+
+TEST(ScheduleDump, GoldenCornerRankOnMesh) {
+  // Rank 0 sits in the corner of a non-periodic 3x3 mesh: the -1 offsets
+  // leave the mesh in both dimensions, so their partners are PROC_NULL
+  // with boundary provenance, and the self block becomes a local copy.
+  std::string corner;
+  mpl::run(9, [&](mpl::Comm& world) {
+    const std::string d = dump_5point(world, {3, 3}, {0, 0}, 2);
+    if (world.rank() == 0) corner = d;
+  });
+  const std::string kGolden =
+      "schedule: 2 phases, 4 rounds, 2 blocks sent, 1 local copies, "
+      "0 temp bytes\n"
+      "  phase 0 (2 rounds)\n"
+      "    round 0: offset (-1,0) send->null(boundary) [0 blk, 0 B]  "
+      "recv<-3 [1 blk, 8 B]\n"
+      "    round 1: offset (1,0) send->3 [1 blk, 8 B]  "
+      "recv<-null(boundary) [0 blk, 0 B]\n"
+      "  phase 1 (2 rounds)\n"
+      "    round 0: offset (0,-1) send->null(boundary) [0 blk, 0 B]  "
+      "recv<-1 [1 blk, 8 B]\n"
+      "    round 1: offset (0,1) send->1 [1 blk, 8 B]  "
+      "recv<-null(boundary) [0 blk, 0 B]\n"
+      "  copy phase (1 copies)\n"
+      "    copy 0: 1 blk, 8 B\n";
+  EXPECT_EQ(corner, kGolden) << corner;
+}
+
+TEST(ScheduleDump, BoundaryProvenanceMarkedEverywhere) {
+  // Every PROC_NULL partner in a mesh schedule must carry the boundary
+  // provenance flag — an unmarked null partner means the builder lost
+  // track of why the round is disabled.
+  std::vector<std::string> dumps(9);
+  mpl::run(9, [&](mpl::Comm& world) {
+    dumps[static_cast<std::size_t>(world.rank())] =
+        dump_5point(world, {3, 3}, {0, 0}, 1);
+  });
+  int boundary_rounds = 0;
+  for (const std::string& d : dumps) {
+    EXPECT_EQ(d.find("null(UNMARKED)"), std::string::npos) << d;
+    for (std::size_t pos = d.find("null(boundary)"); pos != std::string::npos;
+         pos = d.find("null(boundary)", pos + 1)) {
+      ++boundary_rounds;
+    }
+  }
+  EXPECT_GT(boundary_rounds, 0);
+  // The center rank (4) of the 3x3 mesh has no boundary partners.
+  EXPECT_EQ(dumps[4].find("null("), std::string::npos) << dumps[4];
+}
+
+TEST(ScheduleDump, TorusHasNoNullPartners) {
+  std::string any;
+  mpl::run(9, [&](mpl::Comm& world) {
+    const std::string d = dump_5point(world, {3, 3}, {1, 1}, 1);
+    if (world.rank() == 4) any = d;
+  });
+  EXPECT_EQ(any.find("null("), std::string::npos) << any;
+  EXPECT_NE(any.find("copy phase (1 copies)"), std::string::npos) << any;
+}

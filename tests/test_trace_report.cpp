@@ -1,0 +1,138 @@
+// Critical-path attribution: the per-phase LogGP breakdown of a traced
+// section must reproduce the section's virtual makespan.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "cartcomm/cartcomm.hpp"
+#include "mpl/mpl.hpp"
+#include "trace/report.hpp"
+
+using cartcomm::Neighborhood;
+using cartcomm::Schedule;
+
+namespace {
+
+const mpl::Datatype kInt = mpl::Datatype::of<int>();
+
+mpl::NetConfig test_model() {
+  mpl::NetConfig c;
+  c.enabled = true;
+  c.o = 1e-6;
+  c.L = 5e-6;
+  c.G = 1e-9;
+  c.copy = 2e-9;
+  c.o_block = 1e-7;
+  c.G_pack = 5e-10;
+  return c;
+}
+
+struct TempFile {
+  std::string path;
+  explicit TempFile(const char* name)
+      : path(std::string(::testing::TempDir()) + name) {}
+  ~TempFile() { std::remove(path.c_str()); }
+};
+
+}  // namespace
+
+TEST(TraceReport, AttributionCoversMakespan) {
+  TempFile out("trace_report.json");
+  mpl::RunOptions opts;
+  opts.net = test_model();
+  opts.trace.chrome_path = out.path;
+  opts.trace.start_enabled = false;  // record only the section window
+  mpl::run(
+      9,
+      [](mpl::Comm& world) {
+        const std::vector<int> dims{3, 3};
+        const Neighborhood nb = Neighborhood::von_neumann(2, true);
+        auto cc = cartcomm::cart_neighborhood_create(world, dims, {}, nb);
+        const int t = nb.count();
+        const int m = 3;
+        std::vector<int> sb(static_cast<std::size_t>(t * m), world.rank());
+        std::vector<int> rb(static_cast<std::size_t>(t * m), -1);
+        std::vector<cartcomm::SendBlock> sends(static_cast<std::size_t>(t));
+        std::vector<cartcomm::RecvBlock> recvs(static_cast<std::size_t>(t));
+        for (int i = 0; i < t; ++i) {
+          sends[static_cast<std::size_t>(i)] = {
+              &sb[static_cast<std::size_t>(i * m)], m, kInt};
+          recvs[static_cast<std::size_t>(i)] = {
+              &rb[static_cast<std::size_t>(i * m)], m, kInt};
+        }
+        Schedule s = cartcomm::build_alltoall_schedule(cc, sends, recvs);
+
+        const mpl::Comm& comm = cc.comm();
+        comm.vclock_reset_sync();
+        comm.set_trace_enabled(true);
+        EXPECT_EQ(comm.trace_section_begin("5-point alltoall"), 0);
+        s.execute(comm);
+        comm.trace_section_end();
+        comm.set_trace_enabled(false);
+        comm.hard_sync();
+      },
+      opts);
+
+  const std::vector<trace::SectionReport> reports =
+      trace::analyze_file(out.path);
+  ASSERT_EQ(reports.size(), 1u);
+  const trace::SectionReport& r = reports.front();
+  EXPECT_EQ(r.section, 0);
+  EXPECT_EQ(r.label, "5-point alltoall");
+  EXPECT_EQ(r.nranks, 9);
+  EXPECT_TRUE(r.virtual_clock);
+  ASSERT_GE(r.critical_rank, 0);
+  EXPECT_LT(r.critical_rank, 9);
+  EXPECT_GT(r.makespan, 0.0);
+  // The invariant the whole layer is built on: component sums along the
+  // critical rank reproduce the virtual makespan (1% acceptance margin;
+  // in practice the residue is zero).
+  EXPECT_NEAR(r.attributed, r.makespan, 0.01 * r.makespan);
+  EXPECT_GE(r.unattributed, 0.0);
+  EXPECT_LE(r.unattributed, 0.01 * r.makespan);
+  // The 5-point-with-self schedule has messaging phases plus the local
+  // copy phase; some latency and overhead must have been attributed.
+  EXPECT_FALSE(r.phases.empty());
+  using trace::Component;
+  EXPECT_GT(r.comp_total[static_cast<int>(Component::o)], 0.0);
+  EXPECT_GT(r.comp_total[static_cast<int>(Component::L)], 0.0);
+  EXPECT_GT(r.comp_total[static_cast<int>(Component::copy)], 0.0);
+
+  const std::string text = trace::format(reports);
+  EXPECT_NE(text.find("5-point alltoall"), std::string::npos);
+  EXPECT_NE(text.find("attribution covers"), std::string::npos);
+}
+
+TEST(TraceReport, SyntheticCriticalRankSelection) {
+  // Two ranks, one section: rank 1 ends later and must be the critical
+  // rank; its single event fully attributes the makespan to latency.
+  const char* doc = R"({
+    "traceEvents": [
+      {"name": "send_post", "ph": "X", "pid": 2, "tid": 0, "ts": 0, "dur": 1,
+       "args": {"kind": "send_post", "phase": 0, "round": 0, "section": 0,
+                "v_start": 0.0, "v_end": 1.0e-6, "w_start": 0.0, "w_end": 0.0,
+                "o": 1.0e-6, "L": 0, "G": 0, "o_block": 0, "G_pack": 0,
+                "copy": 0, "idle": 0}},
+      {"name": "recv_complete", "ph": "X", "pid": 2, "tid": 1, "ts": 0,
+       "dur": 3,
+       "args": {"kind": "recv_complete", "phase": 0, "round": 0, "section": 0,
+                "v_start": 0.0, "v_end": 3.0e-6, "w_start": 0.0, "w_end": 0.0,
+                "o": 0, "L": 3.0e-6, "G": 0, "o_block": 0, "G_pack": 0,
+                "copy": 0, "idle": 0}}
+    ],
+    "otherData": {"nprocs": 2, "clock": "virtual", "netConfig": {}}
+  })";
+  const std::vector<trace::SectionReport> reports =
+      trace::analyze(trace::json::parse(doc));
+  ASSERT_EQ(reports.size(), 1u);
+  const trace::SectionReport& r = reports.front();
+  EXPECT_EQ(r.nranks, 2);
+  EXPECT_EQ(r.critical_rank, 1);
+  EXPECT_DOUBLE_EQ(r.makespan, 3.0e-6);
+  EXPECT_DOUBLE_EQ(r.attributed, 3.0e-6);
+  EXPECT_DOUBLE_EQ(r.unattributed, 0.0);
+  EXPECT_DOUBLE_EQ(
+      r.comp_total[static_cast<int>(trace::Component::L)], 3.0e-6);
+}

@@ -1,20 +1,31 @@
 #!/usr/bin/env python3
-"""Convert the benchmark suite's text output into tidy CSV files.
+"""Convert benchmark suite output into tidy CSV files.
 
 Usage:
     for b in build/bench/*; do $b; done | tee bench_output.txt
     python3 tools/bench_to_csv.py bench_output.txt out_dir/
+    python3 tools/bench_to_csv.py metrics.json out_dir/
+    python3 tools/bench_to_csv.py BENCH_schedule.json out_dir/
 
-Produces one CSV per recognized experiment:
+The input format is sniffed. Plain text produces one CSV per recognized
+experiment:
     alltoall_figures.csv  - Figures 3/4/5 rows (figure, d, n, t, m, variant,
                             milliseconds, relative-to-baseline)
     fig6.csv              - Figure 6 rows (operation, m, variant, ms, rel)
     table1.csv            - Table 1 rows
-Unrecognized sections are ignored, so the script keeps working when new
+A metrics dump (--metrics / MPL_METRICS, "kind": "mpl-metrics") produces:
+    metrics.csv           - per-rank totals, one counter per column
+    metrics_per_comm.csv  - the same counters split by communicator context
+    metrics_per_phase.csv - per-rank, per-schedule-phase message/byte columns
+    metrics_msg_sizes.csv - per-rank message size histogram
+A schedule summary (BENCH_schedule.json, "kind": "bench-schedule") produces:
+    bench_schedule.csv    - bench, d, n, m, variant, seconds
+Unrecognized text sections are ignored, so the script keeps working when new
 benchmarks are added.
 """
 
 import csv
+import json
 import os
 import re
 import sys
@@ -83,6 +94,65 @@ def parse_table1(text):
     return rows
 
 
+TOTALS_COLUMNS = [
+    "msgs_sent", "bytes_sent", "msgs_recv", "bytes_recv", "packed_msgs",
+    "packed_bytes", "zero_copy_msgs", "zero_copy_bytes", "self_msgs",
+    "self_copies", "self_copy_bytes", "rounds", "phases",
+    "schedule_executions", "wait_stall_v", "wait_stall_wall",
+]
+
+
+def convert_metrics(doc, out):
+    """CSVs from a "mpl-metrics" dump (--metrics / MPL_METRICS)."""
+    ranks = doc.get("ranks", [])
+    totals, per_comm, per_phase, sizes = [], [], [], []
+    for r in ranks:
+        rank = r.get("rank")
+        t = r.get("totals", {})
+        totals.append([rank, r.get("dropped_events", 0)] +
+                      [t.get(c, 0) for c in TOTALS_COLUMNS])
+        for pc in r.get("per_comm", []):
+            c = pc.get("counters", {})
+            per_comm.append([rank, pc.get("ctx")] +
+                            [c.get(col, 0) for col in TOTALS_COLUMNS])
+        for ph in r.get("per_phase", []):
+            per_phase.append([rank, ph.get("phase"), ph.get("msgs", 0),
+                              ph.get("bytes", 0)])
+        for b in r.get("msg_size_hist", []):
+            sizes.append([rank, b.get("le_bytes"), b.get("count", 0)])
+    write_csv(os.path.join(out, "metrics.csv"),
+              ["rank", "dropped_events"] + TOTALS_COLUMNS, totals)
+    write_csv(os.path.join(out, "metrics_per_comm.csv"),
+              ["rank", "ctx"] + TOTALS_COLUMNS, per_comm)
+    write_csv(os.path.join(out, "metrics_per_phase.csv"),
+              ["rank", "phase", "msgs", "bytes"], per_phase)
+    write_csv(os.path.join(out, "metrics_msg_sizes.csv"),
+              ["rank", "le_bytes", "count"], sizes)
+
+
+def convert_bench_schedule(doc, out):
+    """CSV from a "bench-schedule" summary (BENCH_schedule.json)."""
+    rows = [[r.get("bench"), r.get("d"), r.get("n"), r.get("m"),
+             r.get("variant"), r.get("seconds")]
+            for r in doc.get("results", [])]
+    write_csv(os.path.join(out, "bench_schedule.csv"),
+              ["bench", "d", "n", "m", "variant", "seconds"], rows)
+
+
+def try_json(text):
+    """Return the parsed document when the input is a known JSON dump."""
+    if not text.lstrip().startswith("{"):
+        return None
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError:
+        return None
+    if isinstance(doc, dict) and doc.get("kind") in ("mpl-metrics",
+                                                     "bench-schedule"):
+        return doc
+    return None
+
+
 def write_csv(path, header, rows):
     if not rows:
         return
@@ -99,6 +169,13 @@ def main():
     text = open(sys.argv[1]).read()
     out = sys.argv[2]
     os.makedirs(out, exist_ok=True)
+    doc = try_json(text)
+    if doc is not None:
+        if doc["kind"] == "mpl-metrics":
+            convert_metrics(doc, out)
+        else:
+            convert_bench_schedule(doc, out)
+        return
     write_csv(os.path.join(out, "alltoall_figures.csv"),
               ["figure", "d", "n", "t", "m", "variant", "ms", "relative"],
               parse_alltoall_figures(text))

@@ -1,0 +1,134 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace-event JSON file written by the tracing layer.
+
+Checks the structural contract that makes the file loadable in
+chrome://tracing / Perfetto and consumable by tools/trace_report:
+
+  * top level: object with "traceEvents" (list) and "otherData" (object)
+  * every event: "ph" in {"X", "M"}; "pid"/"tid" integers
+  * "X" events: numeric "ts" >= 0 and "dur" >= 0, args object with the
+    dual timestamps, scope fields, and the seven cost components whose
+    sum equals the virtual-clock span (v_end - v_start) up to 1e-9 s
+  * "M" events: process_name / thread_name metadata with an args.name
+  * otherData: nprocs (int), clock ("virtual" or "wall"), netConfig object
+
+Exit status 0 when valid; 1 with a diagnostic otherwise. stdlib only.
+"""
+
+import json
+import sys
+
+COMPONENTS = ("o", "L", "G", "o_block", "G_pack", "copy", "idle")
+EVENT_KINDS = {
+    "send_post",
+    "recv_post",
+    "recv_complete",
+    "copy",
+    "phase",
+    "section_begin",
+    "section_end",
+}
+
+
+def fail(msg):
+    print(f"check_trace: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_x_event(i, ev):
+    if not isinstance(ev.get("ts"), (int, float)) or ev["ts"] < 0:
+        fail(f"event {i}: bad ts {ev.get('ts')!r}")
+    if not isinstance(ev.get("dur"), (int, float)) or ev["dur"] < 0:
+        fail(f"event {i}: bad dur {ev.get('dur')!r}")
+    args = ev.get("args")
+    if not isinstance(args, dict):
+        fail(f"event {i}: X event without args object")
+    if args.get("kind") not in EVENT_KINDS:
+        fail(f"event {i}: unknown kind {args.get('kind')!r}")
+    for key in ("v_start", "v_end", "w_start", "w_end"):
+        if not isinstance(args.get(key), (int, float)):
+            fail(f"event {i}: missing timestamp {key}")
+    for key in ("phase", "round", "section"):
+        if not isinstance(args.get(key), int):
+            fail(f"event {i}: missing scope field {key}")
+    comp_sum = 0.0
+    for key in COMPONENTS:
+        v = args.get(key)
+        if not isinstance(v, (int, float)) or v < 0:
+            fail(f"event {i}: bad component {key}={v!r}")
+        comp_sum += v
+    span = args["v_end"] - args["v_start"]
+    if span < -1e-12:
+        fail(f"event {i}: negative virtual span {span}")
+    # Leaf events carry the cost attribution and must account for their
+    # whole virtual span; phase/section events are enclosing markers whose
+    # costs live on the leaves (their components are zero by design).
+    if args["kind"] in ("send_post", "recv_post", "recv_complete", "copy"):
+        if abs(comp_sum - span) > 1e-9:
+            fail(
+                f"event {i} ({args['kind']}): components sum to {comp_sum}, "
+                f"virtual span is {span}"
+            )
+    elif comp_sum != 0.0:
+        fail(f"event {i} ({args['kind']}): marker event with components")
+
+
+def check_m_event(i, ev):
+    if ev.get("name") not in ("process_name", "thread_name"):
+        fail(f"event {i}: unknown metadata {ev.get('name')!r}")
+    if not isinstance(ev.get("args", {}).get("name"), str):
+        fail(f"event {i}: metadata without args.name")
+
+
+def main():
+    if len(sys.argv) != 2:
+        print(f"usage: {sys.argv[0]} TRACE.json", file=sys.stderr)
+        return 2
+    try:
+        with open(sys.argv[1], encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(str(e))
+
+    if not isinstance(doc, dict):
+        fail("top level is not an object")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        fail("missing traceEvents array")
+    other = doc.get("otherData")
+    if not isinstance(other, dict):
+        fail("missing otherData object")
+    if not isinstance(other.get("nprocs"), int) or other["nprocs"] < 1:
+        fail(f"bad otherData.nprocs {other.get('nprocs')!r}")
+    if other.get("clock") not in ("virtual", "wall"):
+        fail(f"bad otherData.clock {other.get('clock')!r}")
+    if not isinstance(other.get("netConfig"), dict):
+        fail("missing otherData.netConfig")
+
+    n_x = n_m = 0
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            fail(f"event {i}: not an object")
+        for key in ("pid", "tid"):
+            if not isinstance(ev.get(key), int):
+                fail(f"event {i}: bad {key} {ev.get(key)!r}")
+        ph = ev.get("ph")
+        if ph == "X":
+            check_x_event(i, ev)
+            n_x += 1
+        elif ph == "M":
+            check_m_event(i, ev)
+            n_m += 1
+        else:
+            fail(f"event {i}: unknown phase type {ph!r}")
+
+    ranks = {ev["tid"] for ev in events if ev["ph"] == "X"}
+    print(
+        f"check_trace: OK — {n_x} events, {n_m} metadata records, "
+        f"{len(ranks)} rank tracks, {other['nprocs']} procs"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

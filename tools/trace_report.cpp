@@ -1,0 +1,84 @@
+// trace_report: LogGP critical-path attribution for recorded traces.
+//
+// Reads a Chrome trace-event JSON file written by the tracing layer
+// (MPL_TRACE / --trace) and prints, per traced section, the breakdown of
+// the virtual-clock makespan into o / L / G / o_block / G_pack / copy /
+// idle along the critical rank, per schedule phase.
+//
+// With --check, additionally verifies the attribution invariant: the
+// component sum of the critical rank must match the section makespan
+// within the given tolerance (default 1%). Exit status 1 when violated,
+// which is how CI asserts the invariant on a real benchmark trace.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <string>
+
+#include "trace/report.hpp"
+
+namespace {
+
+void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--check[=TOL]] TRACE.json\n"
+               "  --check[=TOL]  fail unless attributed time matches the\n"
+               "                 makespan within TOL (fraction, default 0.01)\n",
+               argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool check = false;
+  double tol = 0.01;
+  std::string path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--check") {
+      check = true;
+    } else if (arg.rfind("--check=", 0) == 0) {
+      check = true;
+      tol = std::strtod(arg.c_str() + std::strlen("--check="), nullptr);
+    } else if (arg == "-h" || arg == "--help") {
+      usage(argv[0]);
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      usage(argv[0]);
+      return 2;
+    } else {
+      path = arg;
+    }
+  }
+  if (path.empty()) {
+    usage(argv[0]);
+    return 2;
+  }
+
+  std::vector<trace::SectionReport> reports;
+  try {
+    reports = trace::analyze_file(path);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "trace_report: %s\n", e.what());
+    return 1;
+  }
+
+  std::fputs(trace::format(reports).c_str(), stdout);
+
+  if (!check) return 0;
+  bool ok = true;
+  for (const trace::SectionReport& r : reports) {
+    if (!r.virtual_clock) continue;  // no model: nothing to check against
+    const double bound = tol * (r.makespan > 0.0 ? r.makespan : 1.0);
+    const double err = r.makespan - r.attributed;
+    if (err < -1e-12 || err > bound) {
+      std::fprintf(stderr,
+                   "trace_report: section %d attribution off by %.3g s "
+                   "(makespan %.3g s, tolerance %.3g s)\n",
+                   r.section, err, r.makespan, bound);
+      ok = false;
+    }
+  }
+  if (ok && check) std::puts("attribution check: OK");
+  return ok ? 0 : 1;
+}
