@@ -1,15 +1,16 @@
 // Debug-only concurrency analysis layer (compiled in under MPL_CHECKED).
 //
-// The simulated-MPI runtime takes three kinds of locks: the per-process
-// mailbox mutex, the runtime's communicator registry mutex, and the
-// out-of-band barrier mutex. The intended discipline is a strict global
-// hierarchy — a thread holds at most one tracked lock at a time, and a
-// condition variable is only ever waited on while holding exactly the
-// mutex it is paired with:
+// The simulated-MPI runtime takes four kinds of locks: the per-process
+// mailbox mutex, the runtime's communicator registry mutex, the
+// out-of-band barrier mutex, and the per-process payload buffer-pool
+// mutex. The intended discipline is a strict global hierarchy — a thread
+// holds at most one tracked lock at a time, and a condition variable is
+// only ever waited on while holding exactly the mutex it is paired with:
 //
 //   level 1  comm_registry  (RuntimeState::comm_mtx_)
 //   level 2  oob_barrier    (OobBarrier::mtx_)
 //   level 3  mailbox        (Mailbox::mtx_; one per simulated process)
+//   level 4  buffer_pool    (BufferPool::mtx_; one per simulated process)
 //
 // CheckedMutex enforces the hierarchy at acquisition time with a
 // thread-local stack of held levels: acquiring a level <= the highest held
@@ -40,6 +41,7 @@ enum class LockLevel : int {
   comm_registry = 1,
   oob_barrier = 2,
   mailbox = 3,
+  buffer_pool = 4,
 };
 
 #ifdef MPL_CHECKED
@@ -100,6 +102,7 @@ class LockTracker {
       case LockLevel::comm_registry: return "comm_registry";
       case LockLevel::oob_barrier: return "oob_barrier";
       case LockLevel::mailbox: return "mailbox";
+      case LockLevel::buffer_pool: return "buffer_pool";
     }
     return "?";
   }
@@ -186,5 +189,6 @@ using CheckedCondVar = std::condition_variable;
 using CommRegistryMutex = CheckedMutex<LockLevel::comm_registry>;
 using OobBarrierMutex = CheckedMutex<LockLevel::oob_barrier>;
 using MailboxMutex = CheckedMutex<LockLevel::mailbox>;
+using BufferPoolMutex = CheckedMutex<LockLevel::buffer_pool>;
 
 }  // namespace mpl::detail

@@ -40,6 +40,21 @@ void validate_rank(int rank, int size, const char* what) {
               std::string(what) + " rank out of range");
 }
 
+// Every send completes at post time (the transport is eager), so all send
+// requests share one immutable, pre-completed state instead of allocating
+// one per message. Nothing ever writes it after construction: wait/test
+// see done == true and model_accounted == true and return immediately.
+const std::shared_ptr<detail::ReqState>& completed_send_state() {
+  static const std::shared_ptr<detail::ReqState> st = [] {
+    auto s = std::make_shared<detail::ReqState>();
+    s->kind = detail::ReqState::Kind::send;
+    s->done.store(true, std::memory_order_relaxed);
+    s->model_accounted = true;
+    return s;
+  }();
+  return st;
+}
+
 }  // namespace
 
 Comm CommBuilder::make(std::shared_ptr<detail::CommState> state, int rank) {
@@ -68,25 +83,31 @@ Request Comm::irecv(void* buf, int count, const Datatype& type, int src,
 
 Request Comm::isend_on(Channel ch, const void* buf, int count,
                        const Datatype& type, int dest, int tag) const {
+  isend_core(ch, buf, count, type, dest, tag);
+  return Request(completed_send_state(), &proc());
+}
+
+void Comm::isend_core(Channel ch, const void* buf, int count,
+                      const Datatype& type, int dest, int tag) const {
   MPL_REQUIRE(valid(), "isend on invalid communicator");
   MPL_REQUIRE(count >= 0, "isend: negative count");
   MPL_REQUIRE(tag >= 0, "isend: negative tag");
   validate_rank(dest, size(), "isend: destination");
 
-  auto st = std::make_shared<detail::ReqState>();
-  st->kind = detail::ReqState::Kind::send;
-  st->done = true;  // eager transport: send buffer is reusable on return
-  if (dest == PROC_NULL) return Request(std::move(st), &proc());
+  Proc& self = proc();
+  if (dest == PROC_NULL) return;
 
   detail::Message msg;
   msg.ctx = channel_ctx(state_->ctx, ch);
   msg.src = rank_;
   msg.tag = tag;
-  msg.payload.resize(type.pack_size(count));
+  // Payload storage comes from this process's pool and is recycled back
+  // here by the receiver after the unpack (zero-allocation steady state).
+  msg.payload = self.pool().acquire(type.pack_size(count));
+  msg.pool = &self.pool();
   type.pack(buf, count, msg.payload.data());
   msg.from_self = (dest == rank_);
 
-  Proc& self = proc();
   trace::RankTrace* tr = self.trace();
   const bool tracing = tr && tr->tracing();
   const double w0 = tracing ? self.tracer()->wall_now() : 0.0;
@@ -132,7 +153,6 @@ Request Comm::isend_on(Channel ch, const void* buf, int count,
     }
   }
   state_->members[static_cast<std::size_t>(dest)]->mailbox().deliver(std::move(msg));
-  return Request(std::move(st), &self);
 }
 
 Request Comm::irecv_on(Channel ch, void* buf, int count, const Datatype& type,
@@ -164,8 +184,11 @@ Request Comm::irecv_on(Channel ch, void* buf, int count, const Datatype& type,
   const double w0 = tracing ? self.tracer()->wall_now() : 0.0;
   const double v0 = self.clock().enabled() ? self.clock().now() : 0.0;
   const std::size_t blocks = message_blocks(type, count);
+  st->blocks = static_cast<std::uint32_t>(blocks);
   if (self.clock().enabled()) {
-    self.clock().post_recv(type.pack_size(count), blocks);
+    // Post charges per-block overhead only; the datatype-scatter G_pack is
+    // charged at completion, on the actual message size.
+    self.clock().post_recv(blocks);
   }
   if (tracing) {
     trace::Event e;
@@ -180,14 +203,12 @@ Request Comm::irecv_on(Channel ch, void* buf, int count, const Datatype& type,
     e.w_start = w0;
     e.w_end = self.tracer()->wall_now();
     if (self.clock().enabled()) {
+      // Mirror post_recv() exactly: o + blocks * o_block. The scatter
+      // G_pack shows up in the recv_complete event instead.
       const auto& cfg = self.clock().config();
       e.comp[static_cast<int>(trace::Component::o)] = cfg.o;
       e.comp[static_cast<int>(trace::Component::o_block)] =
           cfg.o_block * static_cast<double>(blocks);
-      if (blocks > 1) {
-        e.comp[static_cast<int>(trace::Component::G_pack)] =
-            cfg.G_pack * static_cast<double>(type.pack_size(count));
-      }
     }
     tr->record(std::move(e));
   }
@@ -252,11 +273,29 @@ bool Comm::iprobe(int src, int tag, Status* st) const {
 
 void Comm::send(const void* buf, int count, const Datatype& type, int dest,
                 int tag) const {
-  isend(buf, count, type, dest, tag);  // eager: completes immediately
+  isend_core(Channel::user, buf, count, type, dest, tag);  // eager
 }
 
 Status Comm::recv(void* buf, int count, const Datatype& type, int src,
                   int tag) const {
+  // Fast path: with no virtual clock and no tracing there is nothing to
+  // account, so a blocking receive that finds its message already queued
+  // can consume it directly — no request state, no wait machinery.
+  MPL_REQUIRE(valid(), "recv on invalid communicator");
+  if (src != PROC_NULL) {
+    Proc& self = proc();
+    if (!self.clock().enabled() && !self.trace()) {
+      MPL_REQUIRE(count >= 0, "recv: negative count");
+      MPL_REQUIRE(tag >= 0 || tag == ANY_TAG, "recv: invalid tag");
+      MPL_REQUIRE(src == ANY_SOURCE || (src >= 0 && src < size()),
+                  "recv: source rank out of range");
+      Status st;
+      if (self.mailbox().try_recv_now(channel_ctx(state_->ctx, Channel::user),
+                                      src, tag, type, buf, count, &st)) {
+        return st;
+      }
+    }
+  }
   return irecv(buf, count, type, src, tag).wait();
 }
 
@@ -282,11 +321,13 @@ Status Comm::sendrecv_on(Channel ch, const void* sendbuf, int sendcount,
 // ---------------------------------------------------------------------------
 
 void Comm::internal_send(const void* data, std::size_t bytes, int dest) const {
+  Proc& self = proc();
   detail::Message msg;
   msg.ctx = state_->ctx | kInternalCtxBit;
   msg.src = rank_;
   msg.tag = kInternalTag;
-  msg.payload.resize(bytes);
+  msg.payload = self.pool().acquire(bytes);
+  msg.pool = &self.pool();
   std::memcpy(msg.payload.data(), data, bytes);
   msg.from_self = (dest == rank_);
   state_->members[static_cast<std::size_t>(dest)]->mailbox().deliver(std::move(msg));

@@ -161,6 +161,12 @@ class Comm {
   void internal_send(const void* data, std::size_t bytes, int dest) const;
   void internal_recv(void* data, std::size_t bytes, int src) const;
 
+  // The body of isend_on without the Request handle: blocking send()
+  // discards the handle, and every send request is the same pre-completed
+  // singleton anyway, so the hot path skips even its refcount traffic.
+  void isend_core(Channel ch, const void* buf, int count, const Datatype& type,
+                  int dest, int tag) const;
+
   // Collectively create a sub-communicator over the given members (process
   // pointers in new-rank order; parent ranks in the same order).
   Comm create_group(const std::vector<Proc*>& member_procs,

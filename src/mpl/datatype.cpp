@@ -17,6 +17,15 @@ struct TypeNode {
   std::ptrdiff_t lb = 0;        // lower bound (possibly resized)
   std::ptrdiff_t ub = 0;        // upper bound (lb + extent)
   bool absolute = false;        // built from absolute addresses (use BOTTOM)
+
+  /// Dense: one block covering the whole extent, so `count` consecutive
+  /// elements tile into one contiguous byte range — pack/unpack collapse
+  /// to a single memcpy instead of a per-element block loop. This is the
+  /// transport's hottest case (every basic type and contiguous() thereof).
+  [[nodiscard]] bool dense() const noexcept {
+    return blocks.size() == 1 && blocks[0].disp == lb &&
+           blocks[0].len == static_cast<std::size_t>(ub - lb);
+  }
 };
 
 namespace {
@@ -257,6 +266,11 @@ void Datatype::pack(const void* base, int count, std::byte* out) const {
   const TypeNode& n = node();
   const std::ptrdiff_t ext = n.ub - n.lb;
   const char* cbase = static_cast<const char*>(base);
+  if (n.dense()) {
+    std::memcpy(out, cbase + n.lb,
+                static_cast<std::size_t>(ext) * static_cast<std::size_t>(count));
+    return;
+  }
   for (int i = 0; i < count; ++i) {
     const std::ptrdiff_t shift = static_cast<std::ptrdiff_t>(i) * ext;
     for (const TypeBlock& b : n.blocks) {
@@ -270,6 +284,11 @@ void Datatype::unpack(const std::byte* in, void* base, int count) const {
   const TypeNode& n = node();
   const std::ptrdiff_t ext = n.ub - n.lb;
   char* cbase = static_cast<char*>(base);
+  if (n.dense()) {
+    std::memcpy(cbase + n.lb, in,
+                static_cast<std::size_t>(ext) * static_cast<std::size_t>(count));
+    return;
+  }
   for (int i = 0; i < count; ++i) {
     const std::ptrdiff_t shift = static_cast<std::ptrdiff_t>(i) * ext;
     for (const TypeBlock& b : n.blocks) {
@@ -286,6 +305,10 @@ std::size_t Datatype::unpack_partial(const std::byte* in, std::size_t nbytes,
   char* cbase = static_cast<char*>(base);
   std::size_t left = std::min(nbytes, pack_size(count));
   const std::size_t consumed = left;
+  if (n.dense()) {
+    std::memcpy(cbase + n.lb, in, left);
+    return consumed;
+  }
   for (int i = 0; i < count && left > 0; ++i) {
     const std::ptrdiff_t shift = static_cast<std::ptrdiff_t>(i) * ext;
     for (const TypeBlock& b : n.blocks) {

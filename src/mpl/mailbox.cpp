@@ -1,5 +1,8 @@
 #include "mpl/mailbox.hpp"
 
+#include <algorithm>
+#include <thread>
+
 #include "mpl/error.hpp"
 #include "trace/trace.hpp"
 
@@ -14,41 +17,78 @@ bool Mailbox::matches(const ReqState& r, const Message& m) {
          (r.match_tag == ANY_TAG || r.match_tag == m.tag);
 }
 
+// Fill the completion fields of a matched (request, message) pair and hand
+// the payload buffer back to its origin pool. Runs with NO lock held: the
+// pairing was fixed under the mailbox mutex, so the unpack (a potentially
+// large datatype scatter) must not serialize other senders or the owner.
+// Does NOT set r.done — the caller publishes completion afterwards.
 void Mailbox::complete(ReqState& r, Message& m) {
+  const std::size_t incoming = m.payload.size();
   const std::size_t capacity = r.type.pack_size(r.count);
-  // MPI truncation semantics: an incoming message longer than the posted
-  // receive is an error, surfaced at the *receiver's* wait/test call.
-  if (m.payload.size() > capacity) {
-    r.status = Status{m.src, m.tag, m.payload.size()};
-    r.error = "mpl: message truncated (incoming " +
-              std::to_string(m.payload.size()) + " bytes, receive capacity " +
-              std::to_string(capacity) + " bytes)";
-    r.null_recv = true;  // suppress model accounting
-    r.done.store(true, std::memory_order_release);
-    return;
-  }
-  const std::size_t got =
-      r.type.unpack_partial(m.payload.data(), m.payload.size(), r.base, r.count);
-  r.status = Status{m.src, m.tag, got};
   r.depart = m.depart;
   r.arrive_wall = m.arrive_wall;
   r.from_self = m.from_self;
-  r.done.store(true, std::memory_order_release);
+  // MPI truncation semantics: an incoming message longer than the posted
+  // receive is an error, surfaced at the *receiver's* wait/test call. The
+  // message still crossed the wire, so the model accounts its full cost;
+  // only the unpack into the (too small) user buffer is suppressed.
+  if (incoming > capacity) {
+    r.status = Status{m.src, m.tag, incoming};
+    r.error = "mpl: message truncated (incoming " + std::to_string(incoming) +
+              " bytes, receive capacity " + std::to_string(capacity) +
+              " bytes)";
+    r.truncated = true;
+  } else {
+    const std::size_t got =
+        r.type.unpack_partial(m.payload.data(), incoming, r.base, r.count);
+    r.status = Status{m.src, m.tag, got};
+  }
+  m.release();
 }
 
 void Mailbox::deliver(Message msg) {
   if (tracer_) msg.arrive_wall = tracer_->wall_now();
-  std::lock_guard lock(mtx_);
-  for (auto it = posted_.begin(); it != posted_.end(); ++it) {
-    if (matches(**it, msg)) {
-      complete(**it, msg);
-      posted_.erase(it);
-      cv_.notify_all();
-      return;
+
+  // Phase 1 (locked): match-and-dequeue only. The pairing decision is what
+  // needs mutual exclusion; the unpack does not.
+  std::shared_ptr<ReqState> match;
+  bool wake = false;
+  {
+    std::lock_guard lock(mtx_);
+    for (auto it = posted_.begin(); it != posted_.end(); ++it) {
+      if (matches(**it, msg)) {
+        match = std::move(*it);
+        posted_.erase(it);  // preserves posting order of the remainder
+        break;
+      }
+    }
+    if (!match) {
+      wake = wait_kind_ == WaitKind::any ||
+             (wait_kind_ == WaitKind::probe && msg.ctx == probe_ctx_ &&
+              (probe_src_ == ANY_SOURCE || probe_src_ == msg.src) &&
+              (probe_tag_ == ANY_TAG || probe_tag_ == msg.tag));
+      unexpected_.push_back(std::move(msg));
     }
   }
-  unexpected_.push_back(std::move(msg));
-  cv_.notify_all();  // wake blocking probes
+  if (!match) {
+    if (wake) cv_.notify_one();
+    return;
+  }
+
+  // Phase 2 (unlocked): unpack the payload and recycle the buffer.
+  complete(*match, msg);
+
+  // Phase 3 (locked): publish completion and decide whether the owner
+  // needs a wakeup. Storing `done` under the mutex is what makes the
+  // owner's predicated cv_ wait lost-wakeup-free; the release order still
+  // pairs with the lock-free acquire loads in poll_done()/test().
+  {
+    std::lock_guard lock(mtx_);
+    match->done.store(true, std::memory_order_release);
+    wake = wait_kind_ == WaitKind::any ||
+           (wait_kind_ == WaitKind::request && wait_req_ == match.get());
+  }
+  if (wake) cv_.notify_one();
 }
 
 namespace {
@@ -68,17 +108,29 @@ bool probe_match(const std::deque<Message>& q, std::uint64_t ctx, int src,
 
 bool Mailbox::probe_unexpected(std::uint64_t ctx, int src, int tag,
                                Status* st) {
+  // Claimed messages are the oldest arrivals; check them first so the
+  // probed envelope is the one a matching receive would consume.
+  if (probe_match(claimed_, ctx, src, tag, st)) return true;
   std::lock_guard lock(mtx_);
   return probe_match(unexpected_, ctx, src, tag, st);
 }
 
 Status Mailbox::wait_probe(std::uint64_t ctx, int src, int tag) {
+  Status st0;
+  // claimed_ cannot change while the owner blocks below, so one unlocked
+  // pre-check suffices; the wait predicate only watches new arrivals.
+  if (probe_match(claimed_, ctx, src, tag, &st0)) return st0;
   std::unique_lock lock(mtx_);
   Status st;
+  wait_kind_ = WaitKind::probe;
+  probe_ctx_ = ctx;
+  probe_src_ = src;
+  probe_tag_ = tag;
   cv_.wait(lock, [&] {
     return probe_match(unexpected_, ctx, src, tag, &st) ||
            (abort_flag_ && abort_flag_->load(std::memory_order_relaxed));
   });
+  wait_kind_ = WaitKind::none;
   if (!probe_match(unexpected_, ctx, src, tag, &st)) {
     throw Error("mpl: runtime aborted while probing");
   }
@@ -86,28 +138,109 @@ Status Mailbox::wait_probe(std::uint64_t ctx, int src, int tag) {
 }
 
 void Mailbox::post_recv(const std::shared_ptr<ReqState>& r) {
-  std::lock_guard lock(mtx_);
-  for (auto it = unexpected_.begin(); it != unexpected_.end(); ++it) {
+  // Messages claimed by the owner are older than anything still in
+  // unexpected_, so they must be offered first to keep matching in
+  // arrival order. Owner thread only; no lock needed.
+  for (auto it = claimed_.begin(); it != claimed_.end(); ++it) {
     if (matches(*r, *it)) {
-      complete(*r, *it);
-      unexpected_.erase(it);
+      Message msg = std::move(*it);
+      claimed_.erase(it);
+      complete(*r, msg);
+      r->done.store(true, std::memory_order_release);
       return;
     }
   }
-  posted_.push_back(r);
+  Message msg;
+  {
+    std::lock_guard lock(mtx_);
+    auto it = unexpected_.begin();
+    for (; it != unexpected_.end(); ++it) {
+      if (matches(*r, *it)) break;
+    }
+    if (it == unexpected_.end()) {
+      posted_.push_back(r);
+      return;
+    }
+    msg = std::move(*it);
+    unexpected_.erase(it);
+  }
+  // Unpack outside the lock. Publishing `done` needs no mutex here: this
+  // runs on the owning thread, so the owner cannot concurrently be in a
+  // cv_ wait on this request, and no other thread ever saw it (it was
+  // never in posted_).
+  complete(*r, msg);
+  r->done.store(true, std::memory_order_release);
+}
+
+bool Mailbox::try_recv_now(std::uint64_t ctx, int src, int tag,
+                           const Datatype& type, void* base, int count,
+                           Status* st) {
+  const auto envelope_match = [&](const Message& m) {
+    return m.ctx == ctx && (src == ANY_SOURCE || src == m.src) &&
+           (tag == ANY_TAG || tag == m.tag);
+  };
+  // Serve from the owner-private claimed queue first: its messages are the
+  // oldest arrivals, and reading it needs no lock. On a miss, claim
+  // everything queued in one locked bulk move — under sustained traffic
+  // this amortises the mailbox mutex over whole batches of receives.
+  auto it = std::find_if(claimed_.begin(), claimed_.end(), envelope_match);
+  if (it == claimed_.end()) {
+    const std::ptrdiff_t scanned =
+        static_cast<std::ptrdiff_t>(claimed_.size());
+    {
+      std::lock_guard lock(mtx_);
+      if (unexpected_.empty()) return false;
+      if (claimed_.empty()) {
+        claimed_.swap(unexpected_);
+      } else {
+        for (Message& m : unexpected_) claimed_.push_back(std::move(m));
+        unexpected_.clear();
+      }
+    }
+    it = std::find_if(claimed_.begin() + scanned, claimed_.end(),
+                      envelope_match);
+    if (it == claimed_.end()) return false;
+  }
+  Message msg = std::move(*it);
+  claimed_.erase(it);
+  const std::size_t incoming = msg.payload.size();
+  const std::size_t capacity = type.pack_size(count);
+  if (incoming > capacity) {
+    msg.release();
+    throw Error("mpl: message truncated (incoming " +
+                std::to_string(incoming) + " bytes, receive capacity " +
+                std::to_string(capacity) + " bytes)");
+  }
+  const std::size_t got =
+      type.unpack_partial(msg.payload.data(), incoming, base, count);
+  if (st) *st = Status{msg.src, msg.tag, got};
+  msg.release();
+  return true;
 }
 
 void Mailbox::wait_done(const std::shared_ptr<ReqState>& r) {
+  // Bounded yield-poll before sleeping. Simulated ranks oversubscribe the
+  // host cores, so the completing sender is usually just one scheduler
+  // pass away; yielding lets it run and spares both sides the futex
+  // sleep/wake round-trip of the condition variable. Bounded, so a
+  // genuinely idle waiter still parks (and an aborting runtime is still
+  // noticed) via the cv path below.
+  for (int spin = 0; spin < 32; ++spin) {
+    if (r->done.load(std::memory_order_acquire)) return;
+    std::this_thread::yield();
+  }
   std::unique_lock lock(mtx_);
+  wait_kind_ = WaitKind::request;
+  wait_req_ = r.get();
   cv_.wait(lock, [&] {
-    return r->done || (abort_flag_ && abort_flag_->load(std::memory_order_relaxed));
+    return r->done.load(std::memory_order_acquire) ||
+           (abort_flag_ && abort_flag_->load(std::memory_order_relaxed));
   });
-  if (!r->done) throw Error("mpl: runtime aborted while waiting for a request");
-}
-
-bool Mailbox::poll_done(const std::shared_ptr<ReqState>& r) {
-  std::lock_guard lock(mtx_);
-  return r->done;
+  wait_kind_ = WaitKind::none;
+  wait_req_ = nullptr;
+  if (!r->done.load(std::memory_order_acquire)) {
+    throw Error("mpl: runtime aborted while waiting for a request");
+  }
 }
 
 void Mailbox::notify_abort() {

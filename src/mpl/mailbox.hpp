@@ -5,19 +5,28 @@
 // and copied once); the mailbox matches them against posted receives using
 // MPI semantics: (context, source, tag) with wildcards, FIFO per
 // (sender, context) pair, matching in arrival/posting order.
+//
+// Delivery is two-phase (see DESIGN.md, "Transport hot path"): the
+// mailbox mutex covers only match-and-dequeue; the datatype unpack of a
+// matched payload runs outside the lock, and the completion flag is then
+// published under a short re-acquisition. Wakeups are targeted: the
+// mailbox records what its owner is blocked on (a specific request, a
+// wait_any predicate, or a probe) and a deliverer signals the condvar only
+// when its completion can satisfy that wait — a mailbox whose owner is
+// busy computing sees no notify at all.
 #pragma once
 
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
-#include <list>
 #include <memory>
 #include <mutex>
 #include <stdexcept>
 #include <vector>
 
 #include "mpl/checked.hpp"
+#include "mpl/pool.hpp"
 #include "mpl/request.hpp"
 
 namespace trace {
@@ -35,15 +44,29 @@ inline constexpr int PROC_NULL = -1;
 
 namespace detail {
 
-/// A packed in-flight message.
+/// A packed in-flight message. The payload buffer is borrowed from the
+/// sending process's BufferPool and returned there by release() once the
+/// receiver has unpacked it; a message that is never received just frees
+/// the buffer on destruction.
 struct Message {
   std::uint64_t ctx = 0;
   int src = -1;
   int tag = -1;
-  std::vector<std::byte> payload;
+  Buffer payload;
+  BufferPool* pool = nullptr;  // origin pool; null for unpooled payloads
   double depart = 0.0;  // sender virtual-clock stamp
   double arrive_wall = -1.0;  // wall time of mailbox delivery (tracing only)
   bool from_self = false;
+
+  /// Hand the payload back to its origin pool (no-op when unpooled).
+  /// Must not be called while holding a mailbox lock.
+  void release() {
+    if (pool) {
+      pool->recycle(std::move(payload));
+      pool = nullptr;
+    }
+    payload = Buffer{};
+  }
 };
 
 }  // namespace detail
@@ -58,19 +81,36 @@ class Mailbox {
   void set_tracer(const trace::Tracer* t) { tracer_ = t; }
 
   /// Deliver a message (called by the sending thread). If a matching
-  /// receive is posted, the payload is unpacked into its buffer and the
-  /// request completed; otherwise the message is queued as unexpected.
+  /// receive is posted it is dequeued under the lock, its payload unpacked
+  /// after release, and the request completed; otherwise the message is
+  /// queued as unexpected. Wakes the owner only when the owner's recorded
+  /// wait can be satisfied by this delivery.
   void deliver(detail::Message msg);
 
   /// Post a receive (called by the owning thread). May complete
-  /// immediately against an unexpected message.
+  /// immediately against an unexpected message (unpacked outside the
+  /// lock).
   void post_recv(const std::shared_ptr<detail::ReqState>& r);
+
+  /// Owner-thread fast path for a blocking receive with no model or
+  /// tracing accounting armed: match-and-consume an already queued
+  /// unexpected message without materialising a request. Claims the whole
+  /// shared unexpected queue into the owner-private claimed_ queue in one
+  /// lock acquisition and serves from it lock-free afterwards. Returns
+  /// false when nothing matching is queued (caller falls back to
+  /// post_recv + wait). Throws Error on truncation, like wait() would.
+  bool try_recv_now(std::uint64_t ctx, int src, int tag, const Datatype& type,
+                    void* base, int count, Status* st);
 
   /// Block the owning thread until `r` completes (or the runtime aborts).
   void wait_done(const std::shared_ptr<detail::ReqState>& r);
 
-  /// Non-blocking completion check.
-  bool poll_done(const std::shared_ptr<detail::ReqState>& r);
+  /// Non-blocking completion check. Lock-free: the completion flag is
+  /// released by the completing thread and acquired here, which also
+  /// publishes the other completion fields.
+  bool poll_done(const std::shared_ptr<detail::ReqState>& r) {
+    return r->done.load(std::memory_order_acquire);
+  }
 
   /// Block the owning thread until `pred()` holds (checked under the
   /// mailbox lock, re-evaluated on every completion/arrival) or the
@@ -78,10 +118,12 @@ class Mailbox {
   template <typename Pred>
   void wait_until(Pred&& pred) {
     std::unique_lock lock(mtx_);
+    wait_kind_ = WaitKind::any;
     cv_.wait(lock, [&] {
       return pred() ||
              (abort_flag_ && abort_flag_->load(std::memory_order_relaxed));
     });
+    wait_kind_ = WaitKind::none;
     if (!pred()) {
       throw std::runtime_error("mpl: runtime aborted while waiting");
     }
@@ -99,15 +141,36 @@ class Mailbox {
   void notify_abort();
 
  private:
+  /// What the owning thread is currently blocked on. Guarded by mtx_;
+  /// there is at most one waiter per mailbox (only the owner blocks on
+  /// cv_), so a single slot plus notify_one() is exact.
+  enum class WaitKind : std::uint8_t {
+    none,     ///< owner is not blocked: no notify needed
+    request,  ///< wait_done on wait_req_
+    any,      ///< wait_until: any completion or arrival may satisfy it
+    probe,    ///< wait_probe on (probe_ctx_, probe_src_, probe_tag_)
+  };
+
   static bool matches(const detail::ReqState& r, const detail::Message& m);
   static void complete(detail::ReqState& r, detail::Message& m);
 
   detail::MailboxMutex mtx_;
   detail::CheckedCondVar cv_;
   std::deque<detail::Message> unexpected_;
-  std::list<std::shared_ptr<detail::ReqState>> posted_;
+  /// Unexpected messages the owner has claimed from unexpected_ in one
+  /// locked bulk move (try_recv_now). Strictly older than everything in
+  /// unexpected_, in arrival order, and touched ONLY by the owning
+  /// thread — every matching path consults it first, lock-free.
+  std::deque<detail::Message> claimed_;
+  std::vector<std::shared_ptr<detail::ReqState>> posted_;
   const std::atomic<bool>* abort_flag_ = nullptr;
   const trace::Tracer* tracer_ = nullptr;
+
+  WaitKind wait_kind_ = WaitKind::none;  // guarded by mtx_
+  const detail::ReqState* wait_req_ = nullptr;  // target of WaitKind::request
+  std::uint64_t probe_ctx_ = 0;  // criteria of WaitKind::probe
+  int probe_src_ = ANY_SOURCE;
+  int probe_tag_ = ANY_TAG;
 };
 
 }  // namespace mpl

@@ -79,11 +79,13 @@ class NetClock {
     return depart;
   }
 
-  /// Charge the overhead of posting a receive of `blocks` datatype blocks
-  /// with a total capacity of `bytes`.
-  void post_recv(std::size_t bytes = 0, std::size_t blocks = 1) {
+  /// Charge the overhead of posting a receive of `blocks` datatype blocks.
+  /// Receiver-side datatype-engine cost (G_pack) is NOT charged here: at
+  /// post time only the capacity is known, and charging on capacity
+  /// overbills receives that match shorter messages. The scatter cost is
+  /// charged by complete_recv() on the actual message size.
+  void post_recv(std::size_t blocks = 1) {
     now_ += cfg_.o + cfg_.o_block * static_cast<double>(blocks);
-    if (blocks > 1) now_ += cfg_.G_pack * static_cast<double>(bytes);
   }
 
   /// Cost breakdown of one receive completion, exposed for the tracing
@@ -92,30 +94,43 @@ class NetClock {
   struct RecvTiming {
     double latency = 0.0;  ///< sampled latency (incl. jitter/tail)
     double g = 0.0;        ///< per-byte wire time G * bytes
+    double g_pack = 0.0;   ///< receiver-side datatype scatter G_pack * bytes
     double copy = 0.0;     ///< self-message copy cost
     double ready = 0.0;    ///< completion timestamp returned
   };
 
-  /// Account for the arrival of a message stamped `depart`; returns the time
-  /// at which its last byte is available at this process.
+  /// Account for the arrival of a message stamped `depart`; returns the
+  /// time at which its last byte is available at this process. `packed`
+  /// marks a non-dense (blocks > 1) message whose payload is scattered
+  /// through the datatype engine on arrival: that costs G_pack per actual
+  /// byte, as CPU time *after* the wire transfer — the receive port is
+  /// free again at wire completion, so back-to-back arrivals overlap the
+  /// scatter of one message with the wire time of the next.
   double complete_recv(double depart, std::size_t bytes, bool from_self,
-                       RecvTiming* timing = nullptr) {
+                       bool packed = false, RecvTiming* timing = nullptr) {
+    const double pack =
+        packed ? cfg_.G_pack * static_cast<double>(bytes) : 0.0;
     double ready;
     if (from_self) {
-      // Self-messages never touch the network: a memory copy.
-      ready = depart + cfg_.copy * static_cast<double>(bytes);
+      // Self-messages never touch the network: a memory copy (plus the
+      // scatter for non-dense layouts).
+      ready = depart + cfg_.copy * static_cast<double>(bytes) + pack;
       if (timing) timing->copy = cfg_.copy * static_cast<double>(bytes);
     } else {
       const double l = latency_sample();
       const double arrive = std::max(depart + l, recv_busy_);
-      ready = arrive + cfg_.G * static_cast<double>(bytes);
-      recv_busy_ = ready;
+      const double wire_done = arrive + cfg_.G * static_cast<double>(bytes);
+      recv_busy_ = wire_done;
+      ready = wire_done + pack;
       if (timing) {
         timing->latency = l;
         timing->g = cfg_.G * static_cast<double>(bytes);
       }
     }
-    if (timing) timing->ready = ready;
+    if (timing) {
+      timing->g_pack = pack;
+      timing->ready = ready;
+    }
     return ready;
   }
 

@@ -1,0 +1,127 @@
+// Pooled payload buffers for the eager transport.
+//
+// Every message the transport moves used to carry a freshly allocated
+// std::vector<std::byte>; at large p the per-message malloc/free (plus the
+// vector's zero-fill) dominated the simulator's wall-clock hot path. A
+// Buffer is a plain uninitialised byte block with a logical length, and a
+// BufferPool is a per-process freelist of them: the sender acquires from
+// its own process's pool, the buffer travels inside the Message, and the
+// receiver recycles it back to the *origin* pool after unpacking, so
+// steady-state traffic allocates nothing.
+//
+// Lifetime rules (see DESIGN.md, "Transport hot path"):
+//   - acquire() is called by the owning process only, with no locks held.
+//   - recycle() may be called from any thread (it is the receiver giving a
+//     buffer back) but never under a mailbox lock: Mailbox::complete runs
+//     outside the mailbox mutex, and BufferPoolMutex sits above the
+//     mailbox level in the checked hierarchy so a violation would throw
+//     under MPL_CHECKED.
+//   - A Buffer that never reaches a receiver (unexpected message dropped
+//     at shutdown) is simply freed by its destructor; pools never have to
+//     be drained explicitly and never reference buffers in flight.
+//   - Pools are owned by Proc and outlive all message traffic of a run.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "mpl/checked.hpp"
+
+namespace mpl::detail {
+
+/// A resizable byte block with uninitialised storage. Unlike
+/// std::vector<std::byte>, growing never value-initialises (no memset) and
+/// shrinking keeps the capacity, which is what makes pooling effective.
+class Buffer {
+ public:
+  Buffer() = default;
+
+  [[nodiscard]] std::byte* data() noexcept { return data_.get(); }
+  [[nodiscard]] const std::byte* data() const noexcept { return data_.get(); }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return cap_; }
+
+  /// Set the logical size to `n`, reallocating (geometrically) only when
+  /// the capacity is insufficient. Contents are undefined after growth.
+  void ensure(std::size_t n) {
+    if (n > cap_) {
+      std::size_t cap = cap_ ? cap_ : 64;
+      while (cap < n) cap *= 2;
+      data_ = std::make_unique_for_overwrite<std::byte[]>(cap);
+      cap_ = cap;
+    }
+    size_ = n;
+  }
+
+ private:
+  std::unique_ptr<std::byte[]> data_;
+  std::size_t cap_ = 0;
+  std::size_t size_ = 0;
+};
+
+/// Per-process freelist of payload Buffers. One per Proc; shared between
+/// the owning sender (acquire) and whichever receivers hand buffers back
+/// (recycle), so it carries its own mutex — level `buffer_pool` in the
+/// checked hierarchy, above `mailbox`.
+class BufferPool {
+ public:
+  /// Freelist depth cap: beyond this, recycled buffers are freed instead
+  /// of pooled (bounds idle memory per process).
+  static constexpr std::size_t kMaxPooled = 64;
+  /// Buffers larger than this are never pooled (a single huge message
+  /// must not pin its footprint for the rest of the run).
+  static constexpr std::size_t kMaxPooledBytes = std::size_t{1} << 20;
+
+  /// Counters for tests and diagnostics; snapshot under the pool lock.
+  struct Stats {
+    std::uint64_t hits = 0;      ///< acquire() served from the freelist
+    std::uint64_t misses = 0;    ///< acquire() had to hand out a fresh Buffer
+    std::uint64_t recycled = 0;  ///< buffers returned to the freelist
+    std::uint64_t dropped = 0;   ///< buffers freed on return (depth/size cap)
+  };
+
+  /// Get a buffer with logical size `n` (contents undefined). Never called
+  /// with a tracked lock held.
+  Buffer acquire(std::size_t n) {
+    Buffer b;
+    {
+      std::lock_guard lock(mtx_);
+      if (!free_.empty()) {
+        b = std::move(free_.back());
+        free_.pop_back();
+        ++stats_.hits;
+      } else {
+        ++stats_.misses;
+      }
+    }
+    b.ensure(n);
+    return b;
+  }
+
+  /// Return a buffer to the freelist (any thread; no mailbox lock held).
+  void recycle(Buffer&& b) {
+    if (b.capacity() == 0) return;  // nothing to keep
+    std::lock_guard lock(mtx_);
+    if (free_.size() < kMaxPooled && b.capacity() <= kMaxPooledBytes) {
+      free_.push_back(std::move(b));
+      ++stats_.recycled;
+    } else {
+      ++stats_.dropped;  // b freed on scope exit
+    }
+  }
+
+  [[nodiscard]] Stats stats() {
+    std::lock_guard lock(mtx_);
+    return stats_;
+  }
+
+ private:
+  BufferPoolMutex mtx_;
+  std::vector<Buffer> free_;
+  Stats stats_;
+};
+
+}  // namespace mpl::detail

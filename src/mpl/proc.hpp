@@ -3,6 +3,7 @@
 
 #include "mpl/mailbox.hpp"
 #include "mpl/netmodel.hpp"
+#include "mpl/pool.hpp"
 
 namespace trace {
 class RankTrace;
@@ -24,6 +25,9 @@ class Proc {
 
   Mailbox& mailbox() noexcept { return mailbox_; }
   NetClock& clock() noexcept { return clock_; }
+  /// Payload buffer pool for messages *sent* by this process; receivers
+  /// recycle buffers back here after unpacking.
+  detail::BufferPool& pool() noexcept { return pool_; }
   detail::RuntimeState& runtime() noexcept { return *rt_; }
 
   /// Per-rank trace/metrics recorder; null when nothing is armed, which is
@@ -50,6 +54,7 @@ class Proc {
   int world_size_ = 0;
   Mailbox mailbox_;
   NetClock clock_;
+  detail::BufferPool pool_;
   detail::RuntimeState* rt_ = nullptr;
   trace::RankTrace* trace_ = nullptr;
   const trace::Tracer* tracer_ = nullptr;

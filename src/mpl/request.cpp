@@ -39,24 +39,32 @@ void account(detail::ReqState& st, Proc& owner) {
   if (clk.enabled()) {
     v0 = clk.now();
     NetClock::RecvTiming timing;
-    const double done_at = clk.complete_recv(st.depart, st.status.bytes,
-                                             st.from_self,
-                                             active ? &timing : nullptr);
+    // A packed (non-dense, blocks > 1) message pays its receiver-side
+    // datatype scatter G_pack here, on the *actual* message size — the
+    // posted capacity is irrelevant. Truncated receives moved real bytes
+    // across the wire but never unpacked, so they charge wire cost only.
+    const bool packed = st.blocks > 1 && !st.truncated;
+    const double done_at =
+        clk.complete_recv(st.depart, st.status.bytes, st.from_self, packed,
+                          active ? &timing : nullptr);
     clk.advance_to(done_at);
     advance = clk.now() - v0;
     if (active) {
+      // Attribute the advance back-to-front: the trailing G_pack*bytes is
+      // the datatype scatter, the G*bytes before it is wire time, the
+      // preceding stretch (up to the sampled latency) is L, and whatever
+      // of the flight this process had already sat out shows up as idle.
+      auto& gp = comp[static_cast<int>(trace::Component::G_pack)];
+      gp = std::min(advance, timing.g_pack);
+      double rem = advance - gp;
       if (st.from_self) {
         auto& copy = comp[static_cast<int>(trace::Component::copy)];
-        copy = std::min(advance, timing.copy);
-        comp[static_cast<int>(trace::Component::idle)] = advance - copy;
+        copy = std::min(rem, timing.copy);
+        comp[static_cast<int>(trace::Component::idle)] = rem - copy;
       } else {
-        // Attribute the advance back-to-front: the final G*bytes of the
-        // flight are wire time, the preceding stretch (up to the sampled
-        // latency) is L, and whatever of the flight this process had
-        // already sat out shows up as idle.
         auto& g = comp[static_cast<int>(trace::Component::G)];
-        g = std::min(advance, timing.g);
-        const double rem = advance - g;
+        g = std::min(rem, timing.g);
+        rem -= g;
         auto& l = comp[static_cast<int>(trace::Component::L)];
         l = std::min(rem, timing.latency);
         comp[static_cast<int>(trace::Component::idle)] = rem - l;
@@ -103,25 +111,37 @@ Status Request::wait() {
       owner_->mailbox().wait_done(state_);
     }
   }
-  if (!state_->error.empty()) throw Error(state_->error);
+  // Accounting precedes the error throw: a truncated message still crossed
+  // the wire, and the owner's virtual clock must advance past it even
+  // though the receive is reported as failed.
   account(*state_, *owner_);
+  if (!state_->error.empty()) throw Error(state_->error);
   return state_->status;
 }
 
 bool Request::test(Status* st) {
   MPL_REQUIRE(valid(), "test on invalid request");
-  if (!state_->done.load(std::memory_order_acquire) &&
-      !owner_->mailbox().poll_done(state_)) {
-    return false;
-  }
-  if (!state_->error.empty()) throw Error(state_->error);
+  // Completion is published with a release store, so this acquire load is
+  // the whole check — no mailbox lock on the polling fast path.
+  if (!state_->done.load(std::memory_order_acquire)) return false;
   account(*state_, *owner_);
+  if (!state_->error.empty()) throw Error(state_->error);
   if (st) *st = state_->status;
   return true;
 }
 
 bool test_any(std::span<Request> reqs, std::size_t* index, Status* st) {
-  for (std::size_t i = 0; i < reqs.size(); ++i) {
+  const std::size_t n = reqs.size();
+  if (n == 0) return false;
+  // Rotate the scan's starting point per call. A fixed scan from index 0
+  // starves high indices under sustained traffic: a request that is always
+  // ready at a low index wins every call and the later ones are never
+  // drained. The rotation is a thread-local counter, so results stay
+  // deterministic per simulated rank (each run spawns fresh threads).
+  thread_local std::size_t rr_start = 0;
+  const std::size_t start = rr_start++ % n;
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::size_t i = (start + k) % n;
     if (!reqs[i].valid()) continue;
     Status s;
     if (reqs[i].test(&s)) {

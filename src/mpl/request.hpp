@@ -34,11 +34,12 @@ struct ReqState {
   enum class Kind { send, recv };
 
   Kind kind = Kind::send;
-  /// Completion flag. Written by the delivering thread (under the
-  /// receiver's mailbox lock) and read locklessly by the owner's
-  /// test()/wait() fast path, so it must be atomic; the release store in
-  /// Mailbox::complete() / the acquire load here also order the other
-  /// completion fields (status, error, depart) written before it.
+  /// Completion flag. Written by the completing thread after the unlocked
+  /// unpack (under the receiver's mailbox lock when a deliverer completes
+  /// it, lock-free on the owning thread for immediate matches) and read
+  /// locklessly by the owner's test()/wait()/poll_done() fast path, so it
+  /// must be atomic; the release store / the acquire load here also order
+  /// the other completion fields (status, error, depart) written before it.
   std::atomic<bool> done{false};
   bool model_accounted = false;
 
@@ -51,6 +52,9 @@ struct ReqState {
   void* base = nullptr;
   int count = 0;
   Datatype type;
+  /// Contiguous blocks the posted layout scatters into; >1 marks a packed
+  /// (non-dense) message whose receive completion charges G_pack.
+  std::uint32_t blocks = 1;
 
   // Completion info.
   Status status;
@@ -58,6 +62,10 @@ struct ReqState {
   double arrive_wall = -1.0;  // wall stamp of mailbox delivery (tracing only)
   bool from_self = false;
   bool null_recv = false;  // recv from PROC_NULL: completes immediately
+  /// Incoming message exceeded the posted capacity. The wire cost is still
+  /// accounted (on the actual incoming size); only the unpack was
+  /// suppressed. wait/test perform the accounting, then throw `error`.
+  bool truncated = false;
 
   // Receiver-side delivery error (e.g. truncation); thrown from wait/test.
   std::string error;

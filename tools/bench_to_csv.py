@@ -20,6 +20,10 @@ A metrics dump (--metrics / MPL_METRICS, "kind": "mpl-metrics") produces:
     metrics_msg_sizes.csv - per-rank message size histogram
 A schedule summary (BENCH_schedule.json, "kind": "bench-schedule") produces:
     bench_schedule.csv    - bench, d, n, m, variant, seconds
+A transport summary (BENCH_transport.json, "kind": "bench-transport")
+produces:
+    bench_transport.csv   - workload, p, messages, bytes, seconds,
+                            msgs_per_sec, mb_per_sec
 Unrecognized text sections are ignored, so the script keeps working when new
 benchmarks are added.
 """
@@ -139,6 +143,16 @@ def convert_bench_schedule(doc, out):
               ["bench", "d", "n", "m", "variant", "seconds"], rows)
 
 
+def convert_bench_transport(doc, out):
+    """CSV from a "bench-transport" summary (BENCH_transport.json)."""
+    rows = [[r.get("workload"), r.get("p"), r.get("messages"), r.get("bytes"),
+             r.get("seconds"), r.get("msgs_per_sec"), r.get("mb_per_sec")]
+            for r in doc.get("results", [])]
+    write_csv(os.path.join(out, "bench_transport.csv"),
+              ["workload", "p", "messages", "bytes", "seconds",
+               "msgs_per_sec", "mb_per_sec"], rows)
+
+
 def try_json(text):
     """Return the parsed document when the input is a known JSON dump."""
     if not text.lstrip().startswith("{"):
@@ -148,7 +162,8 @@ def try_json(text):
     except json.JSONDecodeError:
         return None
     if isinstance(doc, dict) and doc.get("kind") in ("mpl-metrics",
-                                                     "bench-schedule"):
+                                                     "bench-schedule",
+                                                     "bench-transport"):
         return doc
     return None
 
@@ -173,6 +188,8 @@ def main():
     if doc is not None:
         if doc["kind"] == "mpl-metrics":
             convert_metrics(doc, out)
+        elif doc["kind"] == "bench-transport":
+            convert_bench_transport(doc, out)
         else:
             convert_bench_schedule(doc, out)
         return
