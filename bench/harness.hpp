@@ -30,6 +30,9 @@ struct Options {
   /// Virtual-clock results dump written by every bench run
   /// (--schedule-json=PATH to relocate, --no-schedule-json to disable).
   std::string schedule_json = "BENCH_schedule.json";
+  /// Fault-injection spec (--faults=SPEC, same k=v grammar as MPL_FAULTS);
+  /// empty = no injection.
+  std::string faults_spec;
 
   [[nodiscard]] bool tracing() const { return !trace_path.empty(); }
 
@@ -47,11 +50,14 @@ struct Options {
         o.schedule_json = arg.substr(std::strlen("--schedule-json="));
       } else if (arg == "--no-schedule-json") {
         o.schedule_json.clear();
+      } else if (arg.rfind("--faults=", 0) == 0) {
+        o.faults_spec = arg.substr(std::strlen("--faults="));
       } else {
         std::fprintf(stderr,
                      "unknown option %s\n"
                      "usage: bench [--trace=out.json] [--metrics[=out.json]] "
-                     "[--schedule-json=PATH|--no-schedule-json]\n",
+                     "[--schedule-json=PATH|--no-schedule-json] "
+                     "[--faults=SPEC]\n",
                      arg.c_str());
         std::exit(2);
       }
@@ -65,6 +71,8 @@ struct Options {
     run.trace.chrome_path = trace_path;
     run.trace.metrics_path = metrics_path;
     run.trace.start_enabled = false;
+    if (!faults_spec.empty())
+      run.faults = mpl::FaultConfig::parse(faults_spec);
   }
 };
 

@@ -48,6 +48,7 @@ Schedule::Execution::Execution(const Schedule* s, const mpl::Comm& comm)
       tr_->on_schedule_execution(comm_.state()->ctx);
     }
   }
+  publish_point_ = comm.proc().faults() != nullptr;
   post_phase();  // may already complete everything (no communication)
 }
 
@@ -97,6 +98,9 @@ void Schedule::Execution::post_phase() {
     for (int j = 0; j < nrounds; ++j) {
       const ScheduleRound& r = sched_->rounds_[round_base_ + static_cast<std::size_t>(j)];
       require_null_provenance(r);
+      if (publish_point_) {
+        comm_.proc().set_sched_point(static_cast<int>(phase_), j);
+      }
       if (tr_) {
         tr_->set_round(j);
         if (tr_->metrics_on()) tr_->on_round(comm_.state()->ctx);
@@ -147,6 +151,7 @@ void Schedule::Execution::finish_copies() {
     }
   }
   if (scope) end_phase_scope();
+  if (publish_point_) comm_.proc().set_sched_point(-1, -1);
   done_ = true;
 }
 
@@ -154,6 +159,12 @@ void Schedule::Execution::finish_copies() {
 // accounting), restoring each one's round scope for its recv_complete event.
 void Schedule::Execution::drain_pending() {
   for (std::size_t i = 0; i < pending_.size(); ++i) {
+    if (publish_point_) {
+      // phase_ already names the NEXT phase; the pending receives belong
+      // to the one in flight.
+      comm_.proc().set_sched_point(static_cast<int>(phase_) - 1,
+                                   pending_round_[i]);
+    }
     if (tr_) tr_->set_round(pending_round_[i]);
     pending_[i].wait();
   }

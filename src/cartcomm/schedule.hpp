@@ -177,6 +177,9 @@ class Schedule::Execution {
   int cur_phase_ = -1;          // phase currently in flight
   double phase_v0_ = 0.0;       // virtual/wall start of that phase
   double phase_w0_ = 0.0;
+  // Publish phase/round progress to the Proc (fault runs only), so stall
+  // reports can name the schedule point each rank is blocked at.
+  bool publish_point_ = false;
 };
 
 /// Incremental builder used by the alltoall/allgather schedule algorithms.

@@ -11,6 +11,7 @@
 //   level 2  oob_barrier    (OobBarrier::mtx_)
 //   level 3  mailbox        (Mailbox::mtx_; one per simulated process)
 //   level 4  buffer_pool    (BufferPool::mtx_; one per simulated process)
+//   level 5  stall_info     (RuntimeState stall-report slot; always a leaf)
 //
 // CheckedMutex enforces the hierarchy at acquisition time with a
 // thread-local stack of held levels: acquiring a level <= the highest held
@@ -42,6 +43,11 @@ enum class LockLevel : int {
   oob_barrier = 2,
   mailbox = 3,
   buffer_pool = 4,
+  /// Stall-report slot written by the fault watchdog / read by timed-out
+  /// waiters. Always a leaf acquisition (above every other level): the
+  /// watchdog publishes its report only after releasing the mailbox locks
+  /// it sampled, and waiters read it with no lock held.
+  stall_info = 5,
 };
 
 #ifdef MPL_CHECKED
@@ -103,6 +109,7 @@ class LockTracker {
       case LockLevel::oob_barrier: return "oob_barrier";
       case LockLevel::mailbox: return "mailbox";
       case LockLevel::buffer_pool: return "buffer_pool";
+      case LockLevel::stall_info: return "stall_info";
     }
     return "?";
   }
@@ -190,5 +197,6 @@ using CommRegistryMutex = CheckedMutex<LockLevel::comm_registry>;
 using OobBarrierMutex = CheckedMutex<LockLevel::oob_barrier>;
 using MailboxMutex = CheckedMutex<LockLevel::mailbox>;
 using BufferPoolMutex = CheckedMutex<LockLevel::buffer_pool>;
+using StallInfoMutex = CheckedMutex<LockLevel::stall_info>;
 
 }  // namespace mpl::detail

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 #include <map>
+#include <thread>
 
 #include "mpl/comm_state.hpp"
 #include "mpl/error.hpp"
@@ -110,13 +111,93 @@ void Comm::isend_core(Channel ch, const void* buf, int count,
 
   trace::RankTrace* tr = self.trace();
   const bool tracing = tr && tr->tracing();
+  const std::size_t blocks = message_blocks(type, count);
+
+  // Fault injection. Decisions are a pure hash of (seed, rank, per-rank
+  // message sequence, attempt), so the drop/delay pattern — and with the
+  // model enabled, the virtual clocks — replay bit-identically from the
+  // seed no matter how the host schedules the threads. Dropped deliveries
+  // are retransmitted inline, before deliver(): the sender's program order
+  // IS the delivery order, so FIFO per (sender, ctx) is preserved by
+  // construction. Self-messages never touch the network and are exempt.
+  const FaultPlan* fp = self.faults();
+  const bool inject = fp && fp->injecting() && !msg.from_self;
+  int drops = 0;
+  double fdelay = 0.0;
+  if (inject) {
+    const std::uint64_t fseq = self.next_fault_seq();
+    while (fp->drop(rank_, fseq, drops)) {
+      ++drops;
+      if (drops > fp->config().max_retries) {
+        throw Error("mpl: isend to rank " + std::to_string(dest) +
+                    " dropped after " +
+                    std::to_string(fp->config().max_retries) +
+                    " retransmit attempts (fault injection)");
+      }
+    }
+    fdelay = fp->delay(rank_, fseq);
+  }
+  const double strag =
+      (fp && fp->injecting()) ? fp->straggler_overhead(rank_) : 0.0;
+
+  if (self.clock().enabled()) {
+    // Each dropped attempt charges one bounded exponential backoff before
+    // the successful attempt departs.
+    for (int attempt = 1; attempt <= drops; ++attempt) {
+      const double vr0 = self.clock().now();
+      const double wr0 = tracing ? self.tracer()->wall_now() : 0.0;
+      const double b = fp->backoff(attempt);
+      self.clock().charge(b);
+      if (tr && tr->active()) {
+        if (tr->metrics_on()) tr->on_fault_retry(state_->ctx, b);
+        if (tracing) {
+          trace::Event e;
+          e.kind = trace::EventKind::fault_retry;
+          e.peer = dest;
+          e.tag = tag;
+          e.ctx = msg.ctx;
+          e.bytes = msg.payload.size();
+          e.v_start = vr0;
+          e.v_end = self.clock().now();
+          e.w_start = wr0;
+          e.w_end = self.tracer()->wall_now();
+          e.comp[static_cast<int>(trace::Component::fault)] = b;
+          tr->record(std::move(e));
+        }
+      }
+    }
+  } else if (drops > 0 || fdelay > 0.0) {
+    // Wall-clock mode: no virtual cost to charge, but perturb the host
+    // scheduling (chaos value under TSan) and still count the injections.
+    if (tr && tr->metrics_on()) {
+      for (int attempt = 1; attempt <= drops; ++attempt) {
+        tr->on_fault_retry(state_->ctx, 0.0);
+      }
+    }
+    for (int attempt = 0; attempt <= drops; ++attempt) {
+      std::this_thread::yield();
+    }
+  }
+
   const double w0 = tracing ? self.tracer()->wall_now() : 0.0;
   const double v0 = self.clock().enabled() ? self.clock().now() : 0.0;
-  const std::size_t blocks = message_blocks(type, count);
   if (self.clock().enabled()) {
+    // Straggler ranks pay extra CPU overhead on every post.
+    if (strag > 0.0) {
+      self.clock().charge(strag);
+      if (tr && tr->metrics_on()) tr->on_fault_straggler(state_->ctx, strag);
+    }
     msg.depart = msg.from_self
                      ? self.clock().now()
                      : self.clock().post_send(msg.payload.size(), blocks);
+    // Injected delay jitter is in-network time: it postpones the arrival
+    // (receiver-side idle), not the sender's clock or its send port.
+    if (fdelay > 0.0) {
+      msg.depart += fdelay;
+      if (tr && tr->metrics_on()) tr->on_fault_delay(state_->ctx, fdelay);
+    }
+  } else if (fdelay > 0.0 && tr && tr->metrics_on()) {
+    tr->on_fault_delay(state_->ctx, 0.0);
   }
   if (tr && tr->active()) {
     if (tr->metrics_on()) {
@@ -137,8 +218,8 @@ void Comm::isend_core(Channel ch, const void* buf, int count,
       e.w_end = self.tracer()->wall_now();
       e.depart = msg.depart;
       // Mirror post_send() exactly: the posting advance is o + blocks *
-      // o_block (+ packing for non-dense types); the wire gap G is port
-      // time, attributed at the receiver.
+      // o_block (+ packing for non-dense types, + injected straggler
+      // overhead); the wire gap G is port time, attributed at the receiver.
       if (self.clock().enabled() && !msg.from_self) {
         const auto& cfg = self.clock().config();
         e.comp[static_cast<int>(trace::Component::o)] = cfg.o;
@@ -148,6 +229,9 @@ void Comm::isend_core(Channel ch, const void* buf, int count,
           e.comp[static_cast<int>(trace::Component::G_pack)] =
               cfg.G_pack * static_cast<double>(msg.payload.size());
         }
+      }
+      if (self.clock().enabled()) {
+        e.comp[static_cast<int>(trace::Component::fault)] = strag;
       }
       tr->record(std::move(e));
     }
@@ -185,7 +269,15 @@ Request Comm::irecv_on(Channel ch, void* buf, int count, const Datatype& type,
   const double v0 = self.clock().enabled() ? self.clock().now() : 0.0;
   const std::size_t blocks = message_blocks(type, count);
   st->blocks = static_cast<std::uint32_t>(blocks);
+  const FaultPlan* fp = self.faults();
+  const double strag =
+      (fp && fp->injecting()) ? fp->straggler_overhead(rank_) : 0.0;
   if (self.clock().enabled()) {
+    if (strag > 0.0) {
+      // Straggler ranks pay extra CPU overhead on every post.
+      self.clock().charge(strag);
+      if (tr && tr->metrics_on()) tr->on_fault_straggler(state_->ctx, strag);
+    }
     // Post charges per-block overhead only; the datatype-scatter G_pack is
     // charged at completion, on the actual message size.
     self.clock().post_recv(blocks);
@@ -203,12 +295,14 @@ Request Comm::irecv_on(Channel ch, void* buf, int count, const Datatype& type,
     e.w_start = w0;
     e.w_end = self.tracer()->wall_now();
     if (self.clock().enabled()) {
-      // Mirror post_recv() exactly: o + blocks * o_block. The scatter
-      // G_pack shows up in the recv_complete event instead.
+      // Mirror post_recv() exactly: o + blocks * o_block (+ injected
+      // straggler overhead). The scatter G_pack shows up in the
+      // recv_complete event instead.
       const auto& cfg = self.clock().config();
       e.comp[static_cast<int>(trace::Component::o)] = cfg.o;
       e.comp[static_cast<int>(trace::Component::o_block)] =
           cfg.o_block * static_cast<double>(blocks);
+      e.comp[static_cast<int>(trace::Component::fault)] = strag;
     }
     tr->record(std::move(e));
   }

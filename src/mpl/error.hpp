@@ -17,6 +17,24 @@ class Error : public std::runtime_error {
   explicit Error(const std::string& what) : std::runtime_error(what) {}
 };
 
+/// A blocking wait exceeded its configured timeout (FaultConfig::timeout_ms
+/// / MPL_TIMEOUT_MS), or the progress watchdog declared the run stalled.
+/// what() carries the failure description followed by the per-rank dump of
+/// pending operations; pending_dump() exposes the dump alone.
+class TimeoutError : public Error {
+ public:
+  TimeoutError(const std::string& what, std::string dump)
+      : Error(dump.empty() ? what : what + "\n" + dump),
+        dump_(std::move(dump)) {}
+
+  [[nodiscard]] const std::string& pending_dump() const noexcept {
+    return dump_;
+  }
+
+ private:
+  std::string dump_;
+};
+
 namespace detail {
 [[noreturn]] void fail(const char* file, int line, const std::string& msg);
 }  // namespace detail

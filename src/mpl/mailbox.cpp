@@ -1,9 +1,12 @@
 #include "mpl/mailbox.hpp"
 
 #include <algorithm>
+#include <ostream>
+#include <sstream>
 #include <thread>
 
 #include "mpl/error.hpp"
+#include "mpl/runtime_state.hpp"
 #include "trace/trace.hpp"
 
 namespace mpl {
@@ -48,6 +51,7 @@ void Mailbox::complete(ReqState& r, Message& m) {
 
 void Mailbox::deliver(Message msg) {
   if (tracer_) msg.arrive_wall = tracer_->wall_now();
+  activity_.fetch_add(1, std::memory_order_relaxed);
 
   // Phase 1 (locked): match-and-dequeue only. The pairing decision is what
   // needs mutual exclusion; the unpack does not.
@@ -120,24 +124,34 @@ Status Mailbox::wait_probe(std::uint64_t ctx, int src, int tag) {
   // claimed_ cannot change while the owner blocks below, so one unlocked
   // pre-check suffices; the wait predicate only watches new arrivals.
   if (probe_match(claimed_, ctx, src, tag, &st0)) return st0;
-  std::unique_lock lock(mtx_);
-  Status st;
-  wait_kind_ = WaitKind::probe;
-  probe_ctx_ = ctx;
-  probe_src_ = src;
-  probe_tag_ = tag;
-  cv_.wait(lock, [&] {
-    return probe_match(unexpected_, ctx, src, tag, &st) ||
-           (abort_flag_ && abort_flag_->load(std::memory_order_relaxed));
-  });
-  wait_kind_ = WaitKind::none;
-  if (!probe_match(unexpected_, ctx, src, tag, &st)) {
-    throw Error("mpl: runtime aborted while probing");
+  bool timed_out = false;
+  {
+    std::unique_lock lock(mtx_);
+    Status st;
+    wait_kind_ = WaitKind::probe;
+    probe_ctx_ = ctx;
+    probe_src_ = src;
+    probe_tag_ = tag;
+    auto stop = [&] {
+      return probe_match(unexpected_, ctx, src, tag, &st) || aborting();
+    };
+    blocked_.store(true, std::memory_order_relaxed);
+    if (!timeout_armed()) {
+      cv_.wait(lock, stop);
+    } else {
+      timed_out = !timed_wait(lock, stop);
+    }
+    blocked_.store(false, std::memory_order_relaxed);
+    wait_kind_ = WaitKind::none;
+    if (probe_match(unexpected_, ctx, src, tag, &st)) return st;
   }
-  return st;
+  fail_wait(timed_out, "probe (ctx=" + std::to_string(ctx) +
+                           " src=" + std::to_string(src) +
+                           " tag=" + std::to_string(tag) + ")");
 }
 
 void Mailbox::post_recv(const std::shared_ptr<ReqState>& r) {
+  activity_.fetch_add(1, std::memory_order_relaxed);
   // Messages claimed by the owner are older than anything still in
   // unexpected_, so they must be offered first to keep matching in
   // arrival order. Owner thread only; no lock needed.
@@ -229,23 +243,105 @@ void Mailbox::wait_done(const std::shared_ptr<ReqState>& r) {
     if (r->done.load(std::memory_order_acquire)) return;
     std::this_thread::yield();
   }
-  std::unique_lock lock(mtx_);
-  wait_kind_ = WaitKind::request;
-  wait_req_ = r.get();
-  cv_.wait(lock, [&] {
-    return r->done.load(std::memory_order_acquire) ||
-           (abort_flag_ && abort_flag_->load(std::memory_order_relaxed));
-  });
-  wait_kind_ = WaitKind::none;
-  wait_req_ = nullptr;
-  if (!r->done.load(std::memory_order_acquire)) {
-    throw Error("mpl: runtime aborted while waiting for a request");
+  bool timed_out = false;
+  {
+    std::unique_lock lock(mtx_);
+    wait_kind_ = WaitKind::request;
+    wait_req_ = r.get();
+    auto stop = [&] {
+      return r->done.load(std::memory_order_acquire) || aborting();
+    };
+    blocked_.store(true, std::memory_order_relaxed);
+    if (!timeout_armed()) {
+      cv_.wait(lock, stop);
+    } else {
+      timed_out = !timed_wait(lock, stop);
+    }
+    blocked_.store(false, std::memory_order_relaxed);
+    wait_kind_ = WaitKind::none;
+    wait_req_ = nullptr;
   }
+  if (r->done.load(std::memory_order_acquire)) return;
+  fail_wait(timed_out,
+            r->kind == ReqState::Kind::recv
+                ? "recv (ctx=" + std::to_string(r->ctx) +
+                      " src=" + std::to_string(r->match_src) +
+                      " tag=" + std::to_string(r->match_tag) + ")"
+                : "send request");
 }
 
 void Mailbox::notify_abort() {
   std::lock_guard lock(mtx_);
   cv_.notify_all();
+}
+
+void Mailbox::dump_pending(std::ostream& os) {
+  std::lock_guard lock(mtx_);
+  os << "  rank " << rank_ << ": ";
+  switch (wait_kind_) {
+    case WaitKind::none:
+      os << (blocked_.load(std::memory_order_relaxed) ? "blocked" : "running");
+      break;
+    case WaitKind::request:
+      if (wait_req_ && wait_req_->kind == ReqState::Kind::recv) {
+        os << "blocked on recv (ctx=" << wait_req_->ctx
+           << " src=" << wait_req_->match_src
+           << " tag=" << wait_req_->match_tag << ")";
+      } else {
+        os << "blocked on request";
+      }
+      break;
+    case WaitKind::any:
+      os << "blocked in wait_any/wait_all";
+      break;
+    case WaitKind::probe:
+      os << "blocked in probe (ctx=" << probe_ctx_ << " src=" << probe_src_
+         << " tag=" << probe_tag_ << ")";
+      break;
+  }
+  os << "; posted recvs:";
+  if (posted_.empty()) {
+    os << " none";
+  } else {
+    for (const auto& r : posted_) {
+      os << " [ctx=" << r->ctx << " src=" << r->match_src
+         << " tag=" << r->match_tag << "]";
+    }
+  }
+  // The owner-private claimed_ queue is deliberately not read here: it is
+  // touched lock-free by the owning thread, and everything in it already
+  // left the sender, so it never explains a stall.
+  os << "; undelivered inbound:";
+  if (unexpected_.empty()) {
+    os << " none";
+  } else {
+    for (const Message& m : unexpected_) {
+      os << " [from=" << m.src << " ctx=" << m.ctx << " tag=" << m.tag
+         << " bytes=" << m.payload.size() << "]";
+    }
+  }
+}
+
+void Mailbox::fail_wait(bool timed_out, const std::string& what) {
+  // Diagnostics are assembled with no lock held: pending_ops_dump() takes
+  // every mailbox lock in turn (including this one), which the checked
+  // same-level lock rule would reject from under mtx_.
+  if (timed_out) {
+    throw TimeoutError(
+        "mpl: blocking wait timed out after " +
+            std::to_string(faults_->config().timeout_ms) + " ms on rank " +
+            std::to_string(rank_) + " in " + what,
+        rt_ ? detail::pending_ops_dump(*rt_) : std::string{});
+  }
+  if (rt_) {
+    const std::string stall = rt_->stall_report();
+    if (!stall.empty()) {
+      throw TimeoutError("mpl: runtime aborted by the progress watchdog on "
+                         "rank " + std::to_string(rank_) + " in " + what,
+                         stall);
+    }
+  }
+  throw Error("mpl: runtime aborted while waiting (" + what + ")");
 }
 
 }  // namespace mpl

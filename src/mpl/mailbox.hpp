@@ -17,15 +17,18 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <iosfwd>
 #include <memory>
 #include <mutex>
 #include <stdexcept>
 #include <vector>
 
 #include "mpl/checked.hpp"
+#include "mpl/fault.hpp"
 #include "mpl/pool.hpp"
 #include "mpl/request.hpp"
 
@@ -80,6 +83,30 @@ class Mailbox {
   /// set when event tracing is armed; null keeps delivery stamp-free.
   void set_tracer(const trace::Tracer* t) { tracer_ = t; }
 
+  /// Install the fault plan (wait timeouts, watchdog stall reports). Only
+  /// wired when the plan has anything armed; null keeps waits untimed.
+  void set_fault_ctx(const FaultPlan* plan, detail::RuntimeState* rt,
+                     int rank) {
+    faults_ = plan;
+    rt_ = rt;
+    rank_ = rank;
+  }
+
+  /// Monotone count of delivery/progress events, sampled by the watchdog
+  /// (a changing value proves the run is not stalled).
+  [[nodiscard]] std::uint64_t activity() const noexcept {
+    return activity_.load(std::memory_order_relaxed);
+  }
+  /// Whether the owning thread is parked in a blocking mailbox wait.
+  [[nodiscard]] bool blocked() const noexcept {
+    return blocked_.load(std::memory_order_relaxed);
+  }
+
+  /// Append this mailbox's pending state (blocked wait, posted receives,
+  /// undelivered inbound messages) to `os`. Takes the mailbox lock; safe
+  /// from any thread holding no tracked lock.
+  void dump_pending(std::ostream& os);
+
   /// Deliver a message (called by the sending thread). If a matching
   /// receive is posted it is dequeued under the lock, its payload unpacked
   /// after release, and the request completed; otherwise the message is
@@ -114,19 +141,27 @@ class Mailbox {
 
   /// Block the owning thread until `pred()` holds (checked under the
   /// mailbox lock, re-evaluated on every completion/arrival) or the
-  /// runtime aborts. Used by wait_any and blocking probe.
+  /// runtime aborts. Used by wait_any and blocking probe. With a fault
+  /// timeout armed, gives up after FaultConfig::timeout_ms and throws
+  /// TimeoutError with the per-rank pending-operation dump.
   template <typename Pred>
   void wait_until(Pred&& pred) {
-    std::unique_lock lock(mtx_);
-    wait_kind_ = WaitKind::any;
-    cv_.wait(lock, [&] {
-      return pred() ||
-             (abort_flag_ && abort_flag_->load(std::memory_order_relaxed));
-    });
-    wait_kind_ = WaitKind::none;
-    if (!pred()) {
-      throw std::runtime_error("mpl: runtime aborted while waiting");
+    bool timed_out = false;
+    {
+      std::unique_lock lock(mtx_);
+      wait_kind_ = WaitKind::any;
+      auto stop = [&] { return pred() || aborting(); };
+      blocked_.store(true, std::memory_order_relaxed);
+      if (!timeout_armed()) {
+        cv_.wait(lock, stop);
+      } else {
+        timed_out = !timed_wait(lock, stop);
+      }
+      blocked_.store(false, std::memory_order_relaxed);
+      wait_kind_ = WaitKind::none;
+      if (pred()) return;
     }
+    fail_wait(timed_out, "wait_any/wait_all predicate");
   }
 
   /// Match an unexpected (not yet received) message without consuming it
@@ -154,6 +189,36 @@ class Mailbox {
   static bool matches(const detail::ReqState& r, const detail::Message& m);
   static void complete(detail::ReqState& r, detail::Message& m);
 
+  [[nodiscard]] bool aborting() const noexcept {
+    return abort_flag_ && abort_flag_->load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool timeout_armed() const noexcept {
+    return faults_ && faults_->timeout_armed();
+  }
+
+  /// Predicated wait with a wall-clock deadline. Sleeps in bounded slices
+  /// so an abort is never missed for long. Returns false on timeout with
+  /// `stop` still unsatisfied; the caller owns the lock throughout.
+  template <typename Lock, typename Pred>
+  bool timed_wait(Lock& lock, Pred stop) {
+    using clock = std::chrono::steady_clock;
+    const auto deadline =
+        clock::now() + std::chrono::duration_cast<clock::duration>(
+                           std::chrono::duration<double>(faults_->timeout_s()));
+    constexpr auto kSlice = std::chrono::milliseconds(50);
+    for (;;) {
+      const auto now = clock::now();
+      if (now >= deadline) return stop();
+      const auto slice = std::min<clock::duration>(kSlice, deadline - now);
+      if (cv_.wait_for(lock, slice, stop)) return true;
+    }
+  }
+
+  /// Diagnose a failed blocking wait (defined in mailbox.cpp: needs the
+  /// RuntimeState definition). Throws TimeoutError on timeout or when the
+  /// watchdog published a stall report; a plain abort throws Error.
+  [[noreturn]] void fail_wait(bool timed_out, const std::string& what);
+
   detail::MailboxMutex mtx_;
   detail::CheckedCondVar cv_;
   std::deque<detail::Message> unexpected_;
@@ -165,6 +230,15 @@ class Mailbox {
   std::vector<std::shared_ptr<detail::ReqState>> posted_;
   const std::atomic<bool>* abort_flag_ = nullptr;
   const trace::Tracer* tracer_ = nullptr;
+  const FaultPlan* faults_ = nullptr;
+  detail::RuntimeState* rt_ = nullptr;
+  int rank_ = -1;
+
+  /// Progress signal for the watchdog: bumped on every delivery and posted
+  /// receive. Relaxed — only sampled for change detection.
+  std::atomic<std::uint64_t> activity_{0};
+  /// Owner parked in a blocking cv wait (watchdog stall condition input).
+  std::atomic<bool> blocked_{false};
 
   WaitKind wait_kind_ = WaitKind::none;  // guarded by mtx_
   const detail::ReqState* wait_req_ = nullptr;  // target of WaitKind::request

@@ -5,6 +5,7 @@
 #include "mpl/comm.hpp"
 #include "mpl/datatype.hpp"
 #include "mpl/error.hpp"
+#include "mpl/fault.hpp"
 #include "mpl/mailbox.hpp"
 #include "mpl/neighborhood.hpp"
 #include "mpl/netmodel.hpp"

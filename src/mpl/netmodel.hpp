@@ -142,6 +142,11 @@ class NetClock {
     now_ += cfg_.copy * static_cast<double>(bytes);
   }
 
+  /// Charge an arbitrary local duration (fault injection: straggler
+  /// overhead, retransmit backoff). Deterministic: callers derive `s` from
+  /// the seeded FaultPlan, never from wall time.
+  void charge(double s) { now_ += s; }
+
   /// Reset clocks (used between benchmark repetitions).
   void reset() { now_ = send_busy_ = recv_busy_ = 0.0; }
 

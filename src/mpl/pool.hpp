@@ -22,6 +22,7 @@
 //   - Pools are owned by Proc and outlive all message traffic of a run.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -29,6 +30,7 @@
 #include <vector>
 
 #include "mpl/checked.hpp"
+#include "mpl/fault.hpp"
 
 namespace mpl::detail {
 
@@ -81,7 +83,15 @@ class BufferPool {
     std::uint64_t misses = 0;    ///< acquire() had to hand out a fresh Buffer
     std::uint64_t recycled = 0;  ///< buffers returned to the freelist
     std::uint64_t dropped = 0;   ///< buffers freed on return (depth/size cap)
+    std::uint64_t forced_misses = 0;  ///< misses injected by the fault plan
   };
+
+  /// Wire fault injection (exhaustion pressure): forced freelist misses
+  /// and a depth-cap override. Set by the runtime before threads start.
+  void set_faults(const mpl::FaultPlan* plan, int rank) {
+    faults_ = plan;
+    rank_ = rank;
+  }
 
   /// Get a buffer with logical size `n` (contents undefined). Never called
   /// with a tracked lock held.
@@ -89,7 +99,10 @@ class BufferPool {
     Buffer b;
     {
       std::lock_guard lock(mtx_);
-      if (!free_.empty()) {
+      if (faults_ && faults_->pool_forced_miss(rank_, acquires_++)) {
+        ++stats_.misses;
+        ++stats_.forced_misses;
+      } else if (!free_.empty()) {
         b = std::move(free_.back());
         free_.pop_back();
         ++stats_.hits;
@@ -104,8 +117,10 @@ class BufferPool {
   /// Return a buffer to the freelist (any thread; no mailbox lock held).
   void recycle(Buffer&& b) {
     if (b.capacity() == 0) return;  // nothing to keep
+    const std::size_t depth_cap =
+        faults_ ? std::min(kMaxPooled, faults_->pool_cap()) : kMaxPooled;
     std::lock_guard lock(mtx_);
-    if (free_.size() < kMaxPooled && b.capacity() <= kMaxPooledBytes) {
+    if (free_.size() < depth_cap && b.capacity() <= kMaxPooledBytes) {
       free_.push_back(std::move(b));
       ++stats_.recycled;
     } else {
@@ -122,6 +137,9 @@ class BufferPool {
   BufferPoolMutex mtx_;
   std::vector<Buffer> free_;
   Stats stats_;
+  const mpl::FaultPlan* faults_ = nullptr;
+  int rank_ = -1;
+  std::uint64_t acquires_ = 0;  // guarded by mtx_ (fault decision sequence)
 };
 
 }  // namespace mpl::detail

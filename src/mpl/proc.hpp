@@ -1,6 +1,9 @@
 // One simulated process: rank, mailbox, virtual clock.
 #pragma once
 
+#include <atomic>
+
+#include "mpl/fault.hpp"
 #include "mpl/mailbox.hpp"
 #include "mpl/netmodel.hpp"
 #include "mpl/pool.hpp"
@@ -49,6 +52,42 @@ class Proc {
     tracer_ = tracer;
   }
 
+  /// The run's fault plan; null when nothing is armed (the single-branch
+  /// gate the transport's injection sites check first).
+  [[nodiscard]] const FaultPlan* faults() const noexcept { return faults_; }
+
+  /// Internal: wire the fault plan (runtime, before the thread starts).
+  void set_faults(const FaultPlan* plan) noexcept { faults_ = plan; }
+
+  /// Per-rank message sequence number feeding the fault plan's stateless
+  /// decisions. Owner thread only, incremented in program order, so the
+  /// decision stream is deterministic under any host interleaving.
+  [[nodiscard]] std::uint64_t next_fault_seq() noexcept {
+    return fault_seq_++;
+  }
+
+  /// Schedule position published by the executor when faults are armed, so
+  /// stall reports can name the blocked phase/round (-1 = outside).
+  void set_sched_point(int phase, int round) noexcept {
+    sched_phase_.store(phase, std::memory_order_relaxed);
+    sched_round_.store(round, std::memory_order_relaxed);
+  }
+  [[nodiscard]] int sched_phase() const noexcept {
+    return sched_phase_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] int sched_round() const noexcept {
+    return sched_round_.load(std::memory_order_relaxed);
+  }
+
+  /// The driving thread returned from the user function (set by the
+  /// runtime; a finished rank can no longer make or need progress).
+  void set_finished() noexcept {
+    finished_.store(true, std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool finished() const noexcept {
+    return finished_.load(std::memory_order_relaxed);
+  }
+
  private:
   int world_rank_ = -1;
   int world_size_ = 0;
@@ -58,6 +97,11 @@ class Proc {
   detail::RuntimeState* rt_ = nullptr;
   trace::RankTrace* trace_ = nullptr;
   const trace::Tracer* tracer_ = nullptr;
+  const FaultPlan* faults_ = nullptr;
+  std::uint64_t fault_seq_ = 0;
+  std::atomic<int> sched_phase_{-1};
+  std::atomic<int> sched_round_{-1};
+  std::atomic<bool> finished_{false};
 };
 
 /// The Proc driven by the calling thread; null outside mpl::run().

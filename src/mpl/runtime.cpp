@@ -1,5 +1,8 @@
 #include "mpl/runtime.hpp"
 
+#include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <exception>
 #include <mutex>
 #include <thread>
@@ -42,20 +45,36 @@ void run(int nprocs, const std::function<void(Comm&)>& fn,
   detail::RuntimeState rt;
   rt.net = opts.net;
 
+  FaultConfig fcfg = opts.faults;
+  fcfg.apply_env();
+  rt.faults.configure(fcfg, nprocs);
+
   trace::TraceConfig tcfg = opts.trace;
   tcfg.apply_env();
   rt.tracer.configure(tcfg, nprocs);
-  rt.tracer.set_model_meta(
-      {{"o", opts.net.o},
-       {"L", opts.net.L},
-       {"G", opts.net.G},
-       {"copy", opts.net.copy},
-       {"o_block", opts.net.o_block},
-       {"G_pack", opts.net.G_pack},
-       {"jitter", opts.net.jitter},
-       {"tail_prob", opts.net.tail_prob},
-       {"tail", opts.net.tail}},
-      opts.net.enabled);
+  std::vector<std::pair<std::string, double>> meta{
+      {"o", opts.net.o},
+      {"L", opts.net.L},
+      {"G", opts.net.G},
+      {"copy", opts.net.copy},
+      {"o_block", opts.net.o_block},
+      {"G_pack", opts.net.G_pack},
+      {"jitter", opts.net.jitter},
+      {"tail_prob", opts.net.tail_prob},
+      {"tail", opts.net.tail}};
+  if (rt.faults.injecting()) {
+    // Faulted runs carry their fault knobs in the trace/metrics metadata so
+    // a replay can be reconstructed from the artifact alone.
+    const FaultConfig& fc = rt.faults.config();
+    meta.emplace_back("fault_seed", static_cast<double>(fc.seed));
+    meta.emplace_back("fault_drop", fc.drop);
+    meta.emplace_back("fault_delay", fc.delay);
+    meta.emplace_back("fault_delay_prob", fc.delay_prob);
+    meta.emplace_back("fault_straggler_frac", fc.straggler_frac);
+    meta.emplace_back("fault_straggler", fc.straggler);
+    meta.emplace_back("fault_pool_miss", fc.pool_miss);
+  }
+  rt.tracer.set_model_meta(std::move(meta), opts.net.enabled);
 
   rt.procs.reserve(static_cast<std::size_t>(nprocs));
   for (int r = 0; r < nprocs; ++r) {
@@ -67,6 +86,11 @@ void run(int nprocs, const std::function<void(Comm&)>& fn,
     // Arrival stamping costs one wall-clock read per message; only wire it
     // when event tracing is on.
     if (rt.tracer.trace_armed()) p->mailbox().set_tracer(&rt.tracer);
+    if (rt.faults.any_armed()) {
+      p->set_faults(&rt.faults);
+      p->mailbox().set_fault_ctx(&rt.faults, &rt, r);
+      p->pool().set_faults(&rt.faults, r);
+    }
     rt.procs.push_back(std::move(p));
   }
 
@@ -79,6 +103,55 @@ void run(int nprocs, const std::function<void(Comm&)>& fn,
 
   std::mutex err_mtx;
   std::exception_ptr first_error;
+
+  // Progress watchdog: a run is stalled when every live rank is parked in a
+  // blocking mailbox wait and no delivery happened for a full period. The
+  // transport delivers synchronously from the sender's thread, so that
+  // state can never resolve itself — report it (with each rank's pending
+  // operations and schedule position) and abort instead of hanging.
+  std::thread watchdog;
+  std::atomic<bool> wd_stop{false};
+  if (rt.faults.watchdog_armed()) {
+    watchdog = std::thread([&rt, &wd_stop, nprocs] {
+      const double period = rt.faults.watchdog_s();
+      const std::chrono::duration<double> slice(
+          std::clamp(period / 4.0, 1e-3, 5e-2));
+      double stalled_for = 0.0;
+      std::uint64_t last_activity = 0;
+      bool have_sample = false;
+      while (!wd_stop.load(std::memory_order_relaxed)) {
+        std::this_thread::sleep_for(slice);
+        if (rt.abort.load(std::memory_order_relaxed)) return;
+        std::uint64_t activity = 0;
+        int blocked = 0;
+        int finished = 0;
+        for (auto& p : rt.procs) {
+          activity += p->mailbox().activity();
+          if (p->finished()) {
+            ++finished;
+          } else if (p->mailbox().blocked()) {
+            ++blocked;
+          }
+        }
+        const bool all_stuck =
+            finished < nprocs && blocked + finished == nprocs;
+        stalled_for = (have_sample && all_stuck && activity == last_activity)
+                          ? stalled_for + slice.count()
+                          : 0.0;
+        last_activity = activity;
+        have_sample = true;
+        if (stalled_for >= period) {
+          rt.set_stall_report(
+              "mpl: progress watchdog: no delivery activity for " +
+              std::to_string(rt.faults.config().watchdog_ms) +
+              " ms with every live rank blocked\n" +
+              detail::pending_ops_dump(rt));
+          rt.request_abort();
+          return;
+        }
+      }
+    });
+  }
 
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(nprocs));
@@ -96,10 +169,15 @@ void run(int nprocs, const std::function<void(Comm&)>& fn,
         // Wake every blocked process so the whole run can unwind.
         rt.request_abort();
       }
+      // A finished rank no longer needs progress: the watchdog's stall
+      // condition counts it out instead of waiting on it.
+      rt.procs[static_cast<std::size_t>(r)]->set_finished();
       tls_proc = nullptr;
     });
   }
   for (auto& t : threads) t.join();
+  wd_stop.store(true, std::memory_order_relaxed);
+  if (watchdog.joinable()) watchdog.join();
 
   if (first_error) std::rethrow_exception(first_error);
 

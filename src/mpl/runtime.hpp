@@ -4,6 +4,7 @@
 
 #include <functional>
 
+#include "mpl/fault.hpp"
 #include "mpl/netmodel.hpp"
 #include "trace/trace.hpp"
 
@@ -19,6 +20,11 @@ struct RunOptions {
   /// set, tracing is fully disarmed and costs one null-pointer check per
   /// instrumentation site. Output files are written when run() returns.
   trace::TraceConfig trace;
+  /// Deterministic fault injection and resilience knobs (drops + retransmit,
+  /// delay jitter, stragglers, pool exhaustion, wait timeouts, progress
+  /// watchdog). Environment overrides: MPL_FAULTS spec, MPL_TIMEOUT_MS.
+  /// Fully disarmed by default at one null-pointer check per site.
+  FaultConfig faults;
 };
 
 /// Run `fn` on `nprocs` simulated processes. Each process receives its own

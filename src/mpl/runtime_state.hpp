@@ -8,10 +8,12 @@
 #include <stdexcept>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "mpl/checked.hpp"
+#include "mpl/fault.hpp"
 #include "mpl/netmodel.hpp"
 #include "mpl/proc.hpp"
 #include "trace/trace.hpp"
@@ -26,12 +28,26 @@ struct RuntimeState {
   std::atomic<bool> abort{false};
   NetConfig net;
   trace::Tracer tracer;
+  FaultPlan faults;
 
   Proc& proc(int world_rank) { return *procs[static_cast<std::size_t>(world_rank)]; }
 
   void request_abort() {
     abort.store(true, std::memory_order_relaxed);
     for (auto& p : procs) p->mailbox().notify_abort();
+  }
+
+  /// Publish the watchdog's stall diagnosis (first writer wins; set before
+  /// request_abort() so every unwinding waiter can read it).
+  void set_stall_report(const std::string& report) {
+    std::lock_guard lock(stall_mtx_);
+    if (stall_report_.empty()) stall_report_ = report;
+  }
+
+  /// The stall report, or "" when the watchdog never fired.
+  std::string stall_report() {
+    std::lock_guard lock(stall_mtx_);
+    return stall_report_;
   }
 
   /// Hand a freshly created communicator state to the other group members.
@@ -43,6 +59,8 @@ struct RuntimeState {
  private:
   CommRegistryMutex comm_mtx_;
   std::unordered_map<std::uint64_t, std::shared_ptr<CommState>> published_;
+  StallInfoMutex stall_mtx_;
+  std::string stall_report_;
 };
 
 /// Clock-neutral, sense-reversing barrier used for out-of-band

@@ -19,6 +19,7 @@ const char* component_name(int c) noexcept {
     case Component::G_pack: return "G_pack";
     case Component::copy: return "copy";
     case Component::idle: return "idle";
+    case Component::fault: return "fault";
   }
   return "?";
 }
@@ -32,6 +33,7 @@ const char* event_kind_name(EventKind k) noexcept {
     case EventKind::phase: return "phase";
     case EventKind::section_begin: return "section_begin";
     case EventKind::section_end: return "section_end";
+    case EventKind::fault_retry: return "fault_retry";
   }
   return "?";
 }
@@ -54,6 +56,11 @@ std::vector<std::pair<const char*, double>> Counters::named() const {
       {"schedule_executions", static_cast<double>(schedule_executions)},
       {"wait_stall_v", wait_stall_v},
       {"wait_stall_wall", wait_stall_wall},
+      {"fault_retries", static_cast<double>(fault_retries)},
+      {"fault_delays", static_cast<double>(fault_delays)},
+      {"fault_backoff_v", fault_backoff_v},
+      {"fault_delay_v", fault_delay_v},
+      {"fault_straggler_v", fault_straggler_v},
   };
 }
 
@@ -76,6 +83,11 @@ Counters RankTrace::totals() const {
     t.schedule_executions += c.schedule_executions;
     t.wait_stall_v += c.wait_stall_v;
     t.wait_stall_wall += c.wait_stall_wall;
+    t.fault_retries += c.fault_retries;
+    t.fault_delays += c.fault_delays;
+    t.fault_backoff_v += c.fault_backoff_v;
+    t.fault_delay_v += c.fault_delay_v;
+    t.fault_straggler_v += c.fault_straggler_v;
   }
   return t;
 }

@@ -53,9 +53,12 @@ enum class Component : int {
   G_pack = 4,
   copy = 5,
   idle = 6,
+  /// Injected fault cost (straggler overhead, retransmit backoff) charged
+  /// by the FaultPlan; zero in fault-free runs.
+  fault = 7,
 };
 
-inline constexpr int kComponents = 7;
+inline constexpr int kComponents = 8;
 
 const char* component_name(int c) noexcept;
 
@@ -71,6 +74,7 @@ enum class EventKind : std::uint8_t {
   phase,          ///< one schedule phase: post -> all rounds complete
   section_begin,  ///< start of a named trace section (one collective run)
   section_end,
+  fault_retry,    ///< injected drop: one retransmit backoff charge
 };
 
 const char* event_kind_name(EventKind k) noexcept;
@@ -119,6 +123,13 @@ struct Counters {
   std::uint64_t schedule_executions = 0;
   double wait_stall_v = 0.0;     ///< virtual idle while waiting for arrivals
   double wait_stall_wall = 0.0;  ///< wall time blocked in wait()
+
+  // Fault-injection counters (FaultPlan; all zero in fault-free runs).
+  std::uint64_t fault_retries = 0;  ///< retransmits after injected drops
+  std::uint64_t fault_delays = 0;   ///< messages given injected extra latency
+  double fault_backoff_v = 0.0;     ///< virtual time spent in backoff
+  double fault_delay_v = 0.0;       ///< injected extra latency (virtual)
+  double fault_straggler_v = 0.0;   ///< injected straggler overhead (virtual)
 
   /// Stable (name, value) view for serialization; integers promoted.
   [[nodiscard]] std::vector<std::pair<const char*, double>> named() const;
@@ -264,6 +275,22 @@ class RankTrace {
     Counters& c = comm_counters(ctx);
     ++c.self_copies;
     c.self_copy_bytes += bytes;
+  }
+
+  void on_fault_retry(std::uint64_t ctx, double backoff_v) {
+    Counters& c = comm_counters(ctx);
+    ++c.fault_retries;
+    c.fault_backoff_v += backoff_v;
+  }
+
+  void on_fault_delay(std::uint64_t ctx, double delay_v) {
+    Counters& c = comm_counters(ctx);
+    ++c.fault_delays;
+    c.fault_delay_v += delay_v;
+  }
+
+  void on_fault_straggler(std::uint64_t ctx, double overhead_v) {
+    comm_counters(ctx).fault_straggler_v += overhead_v;
   }
 
   void on_round(std::uint64_t ctx) { ++comm_counters(ctx).rounds; }

@@ -1,0 +1,243 @@
+// Property-based correctness fuzzer for the Cartesian collectives.
+//
+// Each iteration draws a random configuration — dimension count, mesh
+// extents, periodic/non-periodic mix, a t-neighborhood with duplicate,
+// zero and out-of-range offsets, block size — and checks that
+//
+//   (1) the message-combining alltoall/allgather agree element-exactly
+//       with the trivial (direct) algorithms and with the analytic oracle,
+//   (2) the combining schedules pass the static verifier, locally
+//       (verify_schedule) and globally across ranks (verify_global).
+//
+// Every iteration derives its own seed from the base seed; a failure
+// prints a one-line replay recipe and appends the seed to
+// cart_fuzz_failures.txt (uploaded as a CI artifact by the nightly job).
+//
+//   ./test_cart_fuzz --seed=N --iters=K     # or MPL_FUZZ_SEED/MPL_FUZZ_ITERS
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <random>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cart_test_util.hpp"
+#include "verify/verify.hpp"
+
+using cartcomm::Algorithm;
+using cartcomm::Neighborhood;
+
+namespace {
+
+std::uint64_t g_base_seed = 20260807;
+int g_iters = 30;
+
+struct FuzzCase {
+  std::vector<int> dims;
+  std::vector<int> periods;  // empty = fully periodic
+  std::vector<int> offsets;  // flat t*d
+  int d = 1;
+  int m = 1;
+
+  [[nodiscard]] int nprocs() const {
+    int p = 1;
+    for (int v : dims) p *= v;
+    return p;
+  }
+
+  [[nodiscard]] std::string describe() const {
+    std::ostringstream os;
+    os << "d=" << d << " dims=[";
+    for (std::size_t i = 0; i < dims.size(); ++i)
+      os << (i ? "," : "") << dims[i];
+    os << "] periods=[";
+    for (std::size_t i = 0; i < periods.size(); ++i)
+      os << (i ? "," : "") << periods[i];
+    os << "] m=" << m << " offsets=[";
+    for (std::size_t i = 0; i < offsets.size(); ++i)
+      os << (i ? "," : "") << offsets[i];
+    os << "]";
+    return os.str();
+  }
+};
+
+FuzzCase draw_case(std::mt19937_64& rng) {
+  FuzzCase fc;
+  fc.d = 1 + static_cast<int>(rng() % 3);
+  fc.dims.resize(static_cast<std::size_t>(fc.d));
+  int nprocs = 1;
+  for (int k = 0; k < fc.d; ++k) {
+    int v = 1 + static_cast<int>(rng() % 4);
+    if (nprocs * v > 24) v = 1;  // keep the simulated world small
+    fc.dims[static_cast<std::size_t>(k)] = v;
+    nprocs *= v;
+  }
+  if (rng() % 2 != 0) {  // non-periodic mix (empty = all periodic)
+    fc.periods.resize(static_cast<std::size_t>(fc.d));
+    for (int k = 0; k < fc.d; ++k)
+      fc.periods[static_cast<std::size_t>(k)] = static_cast<int>(rng() % 2);
+  }
+  // Neighborhood: duplicates, the zero vector (self) and offsets wrapping
+  // several times around small tori are all legal and must all work.
+  const int t = 1 + static_cast<int>(rng() % 8);
+  fc.offsets.resize(static_cast<std::size_t>(t) * fc.d);
+  for (int& o : fc.offsets) o = static_cast<int>(rng() % 11) - 5;
+  fc.m = 1 + static_cast<int>(rng() % 4);
+  return fc;
+}
+
+/// Run one fuzz case: combining vs trivial vs oracle for alltoall and
+/// allgather, plus static verification of the combining schedules.
+void run_case(const FuzzCase& fc) {
+  const Neighborhood nb(fc.d, fc.offsets);
+  const int t = nb.count();
+  const int m = fc.m;
+  mpl::run(fc.nprocs(), [&](mpl::Comm& world) {
+    auto cc =
+        cartcomm::cart_neighborhood_create(world, fc.dims, fc.periods, nb);
+    const mpl::Datatype ty = mpl::Datatype::of<int>();
+    const std::size_t n = static_cast<std::size_t>(t) * m;
+
+    // -- alltoall: combining vs trivial vs oracle --------------------------
+    std::vector<int> sb(n);
+    for (int i = 0; i < t; ++i) {
+      for (int e = 0; e < m; ++e)
+        sb[static_cast<std::size_t>(i) * m + e] =
+            carttest::pattern(world.rank(), i, e);
+    }
+    std::vector<int> comb(n, -777);
+    std::vector<int> triv(n, -777);
+    cartcomm::alltoall(sb.data(), m, ty, comb.data(), m, ty, cc,
+                       Algorithm::combining);
+    cartcomm::alltoall(sb.data(), m, ty, triv.data(), m, ty, cc,
+                       Algorithm::trivial);
+    for (int i = 0; i < t; ++i) {
+      const int src = cc.source_ranks()[static_cast<std::size_t>(i)];
+      for (int e = 0; e < m; ++e) {
+        const std::size_t at = static_cast<std::size_t>(i) * m + e;
+        const int want =
+            src == mpl::PROC_NULL ? -777 : carttest::pattern(src, i, e);
+        ASSERT_EQ(comb[at], want) << "alltoall combining: rank "
+                                  << world.rank() << " block " << i
+                                  << " elem " << e;
+        ASSERT_EQ(triv[at], comb[at])
+            << "alltoall trivial/combining disagree: rank " << world.rank()
+            << " block " << i << " elem " << e;
+      }
+    }
+
+    // -- allgather: combining vs trivial vs oracle -------------------------
+    std::vector<int> ag_sb(static_cast<std::size_t>(m));
+    for (int e = 0; e < m; ++e)
+      ag_sb[static_cast<std::size_t>(e)] = carttest::ag_pattern(world.rank(), e);
+    std::vector<int> ag_comb(n, -777);
+    std::vector<int> ag_triv(n, -777);
+    cartcomm::allgather(ag_sb.data(), m, ty, ag_comb.data(), m, ty, cc,
+                        Algorithm::combining);
+    cartcomm::allgather(ag_sb.data(), m, ty, ag_triv.data(), m, ty, cc,
+                        Algorithm::trivial);
+    for (int i = 0; i < t; ++i) {
+      const int src = cc.source_ranks()[static_cast<std::size_t>(i)];
+      for (int e = 0; e < m; ++e) {
+        const std::size_t at = static_cast<std::size_t>(i) * m + e;
+        const int want =
+            src == mpl::PROC_NULL ? -777 : carttest::ag_pattern(src, e);
+        ASSERT_EQ(ag_comb[at], want) << "allgather combining: rank "
+                                     << world.rank() << " block " << i
+                                     << " elem " << e;
+        ASSERT_EQ(ag_triv[at], ag_comb[at])
+            << "allgather trivial/combining disagree: rank " << world.rank()
+            << " block " << i << " elem " << e;
+      }
+    }
+
+    // -- static verification of the combining schedules --------------------
+    std::vector<cartcomm::SendBlock> sends(static_cast<std::size_t>(t));
+    std::vector<cartcomm::RecvBlock> recvs(static_cast<std::size_t>(t));
+    for (int i = 0; i < t; ++i) {
+      sends[static_cast<std::size_t>(i)] = {
+          &sb[static_cast<std::size_t>(i) * m], m, ty};
+      recvs[static_cast<std::size_t>(i)] = {
+          &comb[static_cast<std::size_t>(i) * m], m, ty};
+    }
+    const cartcomm::Schedule a2a =
+        cartcomm::build_alltoall_schedule(cc, sends, recvs);
+    const cartcomm::VerifyReport ra =
+        cartcomm::verify_schedule(a2a, cc, cartcomm::ScheduleKind::alltoall);
+    EXPECT_TRUE(ra.ok()) << ra.to_string();
+
+    const cartcomm::SendBlock ag_send{ag_sb.data(), m, ty};
+    for (int i = 0; i < t; ++i) {
+      recvs[static_cast<std::size_t>(i)] = {
+          &ag_comb[static_cast<std::size_t>(i) * m], m, ty};
+    }
+    const cartcomm::Schedule ag =
+        cartcomm::build_allgather_schedule(cc, ag_send, recvs);
+    const cartcomm::VerifyReport rg =
+        cartcomm::verify_schedule(ag, cc, cartcomm::ScheduleKind::allgather);
+    EXPECT_TRUE(rg.ok()) << rg.to_string();
+
+    // Cross-rank: every rank fused the same rounds, all sends are paired.
+    const auto summaries =
+        cartcomm::gather_summaries(cc.comm(), cartcomm::summarize(a2a, cc));
+    if (world.rank() == 0) {
+      const cartcomm::VerifyReport global =
+          cartcomm::verify_global(summaries, cc.grid());
+      EXPECT_TRUE(global.ok()) << global.to_string();
+    }
+  });
+}
+
+void log_failing_seed(std::uint64_t seed) {
+  std::fprintf(stderr,
+               "MPL_FUZZ: failing configuration, replay with "
+               "--seed=%llu --iters=1\n",
+               static_cast<unsigned long long>(seed));
+  if (std::FILE* f = std::fopen("cart_fuzz_failures.txt", "a")) {
+    std::fprintf(f, "%llu\n", static_cast<unsigned long long>(seed));
+    std::fclose(f);
+  }
+}
+
+}  // namespace
+
+TEST(CartFuzz, CombinedMatchesTrivialAndVerifies) {
+  for (int it = 0; it < g_iters; ++it) {
+    // Per-iteration seed: replaying a failure with --seed=<logged> runs the
+    // failing configuration as iteration 0.
+    const std::uint64_t seed = g_base_seed + static_cast<std::uint64_t>(it);
+    std::mt19937_64 rng(seed);
+    const FuzzCase fc = draw_case(rng);
+    SCOPED_TRACE("fuzz seed " + std::to_string(seed) + ": " + fc.describe());
+    run_case(fc);
+    if (::testing::Test::HasFailure()) {
+      log_failing_seed(seed);
+      break;
+    }
+  }
+}
+
+int main(int argc, char** argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  if (const char* e = std::getenv("MPL_FUZZ_SEED"))
+    g_base_seed = std::strtoull(e, nullptr, 0);
+  if (const char* e = std::getenv("MPL_FUZZ_ITERS")) g_iters = std::atoi(e);
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strncmp(a, "--seed=", 7) == 0) {
+      g_base_seed = std::strtoull(a + 7, nullptr, 0);
+    } else if (std::strncmp(a, "--iters=", 8) == 0) {
+      g_iters = std::atoi(a + 8);
+    } else {
+      std::fprintf(stderr,
+                   "usage: test_cart_fuzz [--seed=N] [--iters=K] "
+                   "[gtest flags]\n");
+      return 2;
+    }
+  }
+  return RUN_ALL_TESTS();
+}

@@ -225,7 +225,8 @@ TEST(TraceRun, DeterministicTraceForFixedSchedule) {
   static const char* const kVirtualFields[] = {
       "peer",  "tag",    "phase",  "round",   "section", "ctx",
       "bytes", "blocks", "v_start", "v_end",  "depart",  "o",
-      "L",     "G",      "o_block", "G_pack", "copy",    "idle"};
+      "L",     "G",      "o_block", "G_pack", "copy",    "idle",
+      "fault"};
   for (std::size_t i = 0; i < ea.size(); ++i) {
     if (ea[i].str_or("ph", "") != "X") {
       EXPECT_EQ(eb[i].str_or("ph", ""), ea[i].str_or("ph", ""));

@@ -103,6 +103,8 @@ TOTALS_COLUMNS = [
     "packed_bytes", "zero_copy_msgs", "zero_copy_bytes", "self_msgs",
     "self_copies", "self_copy_bytes", "rounds", "phases",
     "schedule_executions", "wait_stall_v", "wait_stall_wall",
+    "fault_retries", "fault_delays", "fault_backoff_v", "fault_delay_v",
+    "fault_straggler_v",
 ]
 
 

@@ -18,7 +18,7 @@ Exit status 0 when valid; 1 with a diagnostic otherwise. stdlib only.
 import json
 import sys
 
-COMPONENTS = ("o", "L", "G", "o_block", "G_pack", "copy", "idle")
+COMPONENTS = ("o", "L", "G", "o_block", "G_pack", "copy", "idle", "fault")
 EVENT_KINDS = {
     "send_post",
     "recv_post",
@@ -27,6 +27,7 @@ EVENT_KINDS = {
     "phase",
     "section_begin",
     "section_end",
+    "fault_retry",
 }
 
 
@@ -63,7 +64,8 @@ def check_x_event(i, ev):
     # Leaf events carry the cost attribution and must account for their
     # whole virtual span; phase/section events are enclosing markers whose
     # costs live on the leaves (their components are zero by design).
-    if args["kind"] in ("send_post", "recv_post", "recv_complete", "copy"):
+    if args["kind"] in ("send_post", "recv_post", "recv_complete", "copy",
+                        "fault_retry"):
         if abs(comp_sum - span) > 1e-9:
             fail(
                 f"event {i} ({args['kind']}): components sum to {comp_sum}, "
