@@ -152,7 +152,10 @@ void CartRequest::wait() {
   }
   mpl::wait_all(pending_);
   pending_.clear();
-  test();  // runs the self copies
+  // All remote requests done: this pass only runs the self copies, so
+  // completion is guaranteed.
+  const bool completed = test();
+  MPL_REQUIRE(completed, "CartRequest::wait: internal inconsistency");
 }
 
 const Schedule& PersistentColl::schedule() const {

@@ -35,7 +35,9 @@ class CartRequest {
 
   [[nodiscard]] bool done() const noexcept { return done_; }
   /// Make progress; returns true once the operation completed locally.
-  bool test();
+  /// Callers driving progress for its own sake should loop on the result
+  /// or consult done() — a discarded completion flag hides a finished op.
+  [[nodiscard]] bool test();
   /// Block until completion.
   void wait();
 

@@ -150,7 +150,7 @@ class Schedule::Execution {
 
   /// Make progress: complete finished rounds, post the next phase when the
   /// current one drains. Returns done().
-  bool test();
+  [[nodiscard]] bool test();
 
   /// Drive the execution to completion (blocking).
   void wait();

@@ -1,0 +1,85 @@
+// Clang Thread Safety Analysis annotation macros for the mpl transport.
+//
+// One set of macros drives BOTH static checkers of the lock discipline:
+//
+//   - Clang TSA (`-Wthread-safety -Wthread-safety-beta`) proves at compile
+//     time that every access to a MPL_GUARDED_BY field happens with its
+//     capability held, that MPL_REQUIRES/MPL_EXCLUDES contracts hold at
+//     every call site, and that MPL_ACQUIRE/MPL_RELEASE pairs balance.
+//   - `tools/lint_locks.py` parses the same annotations (textually, so it
+//     works without clang) to extract the static acquisition-order graph,
+//     prove it acyclic, and cross-check it against the runtime hierarchy
+//     levels declared in checked.hpp and the table in DESIGN.md.
+//
+// The third checker, the MPL_CHECKED runtime tracker in checked.hpp,
+// enforces the same hierarchy dynamically; the CheckedMutex wrapper there
+// carries both its TSA capability and its runtime LockLevel, so one
+// declaration keeps all three checkers in agreement.
+//
+// On non-clang compilers (and clang without the capability attribute) every
+// macro expands to nothing: GCC builds see plain code.
+//
+// Macro set and semantics follow the canonical Clang documentation
+// (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html).
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define MPL_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef MPL_THREAD_ANNOTATION
+#define MPL_THREAD_ANNOTATION(x)  // no-op outside clang
+#endif
+
+/// Marks a class as a capability (a lockable resource), e.g. a mutex
+/// wrapper. `x` names the capability kind ("mutex").
+#define MPL_CAPABILITY(x) MPL_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII class whose constructor acquires and destructor releases
+/// a capability (std::lock_guard analogue).
+#define MPL_SCOPED_CAPABILITY MPL_THREAD_ANNOTATION(scoped_lockable)
+
+/// Data member readable/writable only with the given capability held.
+#define MPL_GUARDED_BY(x) MPL_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member whose *pointee* is protected by the given capability
+/// (the pointer itself may be read freely).
+#define MPL_PT_GUARDED_BY(x) MPL_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Declared acquisition order between capabilities (documentation for TSA;
+/// the lint and the runtime tracker enforce the global level order).
+#define MPL_ACQUIRED_BEFORE(...) \
+  MPL_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define MPL_ACQUIRED_AFTER(...) \
+  MPL_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+/// Function contract: the caller must hold the capabilities on entry (and
+/// they stay held across the call).
+#define MPL_REQUIRES(...) \
+  MPL_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function contract: the caller must NOT hold the capabilities (the
+/// function acquires them itself, or would deadlock/invert otherwise).
+#define MPL_EXCLUDES(...) MPL_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Function acquires the capability and returns with it held.
+#define MPL_ACQUIRE(...) \
+  MPL_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function releases a held capability before returning.
+#define MPL_RELEASE(...) \
+  MPL_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function tries to acquire; `b` is the success return value.
+#define MPL_TRY_ACQUIRE(...) \
+  MPL_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// Function returns a reference to the given capability (accessor helpers).
+#define MPL_RETURN_CAPABILITY(x) MPL_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: disable the analysis for one function. Every use MUST
+/// carry a one-line justification comment on the same or previous line;
+/// tools/lint_locks.py counts uses and fails the build past a small cap.
+#define MPL_NO_THREAD_SAFETY_ANALYSIS \
+  MPL_THREAD_ANNOTATION(no_thread_safety_analysis)

@@ -1,33 +1,48 @@
-// Debug-only concurrency analysis layer (compiled in under MPL_CHECKED).
+// Concurrency discipline primitives: one mutex declaration drives three
+// checkers.
 //
-// The simulated-MPI runtime takes four kinds of locks: the per-process
-// mailbox mutex, the runtime's communicator registry mutex, the
-// out-of-band barrier mutex, and the per-process payload buffer-pool
-// mutex. The intended discipline is a strict global hierarchy — a thread
-// holds at most one tracked lock at a time, and a condition variable is
-// only ever waited on while holding exactly the mutex it is paired with:
+// The simulated-MPI runtime takes six kinds of locks: the runtime's
+// communicator registry mutex, the out-of-band barrier mutex, the
+// per-process mailbox mutex, the per-process payload buffer-pool mutex,
+// the stall-report slot, and the first-error capture slot. The intended
+// discipline is a strict global hierarchy — a thread holds at most one
+// tracked lock at a time, and a condition variable is only ever waited on
+// while holding exactly the mutex it is paired with:
 //
 //   level 1  comm_registry  (RuntimeState::comm_mtx_)
 //   level 2  oob_barrier    (OobBarrier::mtx_)
 //   level 3  mailbox        (Mailbox::mtx_; one per simulated process)
 //   level 4  buffer_pool    (BufferPool::mtx_; one per simulated process)
 //   level 5  stall_info     (RuntimeState stall-report slot; always a leaf)
+//   level 6  error_capture  (ErrorSlot::mtx_; always a leaf)
 //
-// CheckedMutex enforces the hierarchy at acquisition time with a
-// thread-local stack of held levels: acquiring a level <= the highest held
-// level (including a second lock of the same level, e.g. two mailboxes —
-// the classic circular-wait deadlock between a pair of senders) throws
-// immediately with both levels named. CheckedCondVar rejects waits that
-// would sleep while holding any tracked lock other than the one being
-// released — the lost-wakeup/deadlock pattern where a notifier can never
-// reach its own lock.
+// CheckedMutex<Level> is a std::mutex wrapper that carries the hierarchy
+// level in its type and a Clang Thread Safety Analysis capability on the
+// class (see annotations.hpp), so the same declaration feeds:
 //
-// With MPL_CHECKED undefined (the default) everything aliases the plain
-// std:: primitives: zero overhead, identical layout semantics.
+//   1. Clang TSA — every GUARDED_BY field and REQUIRES/EXCLUDES contract
+//      is proven at compile time under -Wthread-safety (all builds that
+//      use clang; zero runtime presence).
+//   2. tools/lint_locks.py — extracts the levels and the annotation graph
+//      textually and proves the static acquisition order acyclic and
+//      consistent with this table.
+//   3. The MPL_CHECKED runtime tracker below — a thread-local stack of
+//      held levels; acquiring a level <= the highest held level (including
+//      a second lock of the same level, e.g. two mailboxes — the classic
+//      circular-wait deadlock between a pair of senders) throws immediately
+//      with both levels named. CheckedCondVar rejects waits that would
+//      sleep while holding any tracked lock other than the one being
+//      released — the lost-wakeup/deadlock pattern where a notifier can
+//      never reach its own lock.
+//
+// With MPL_CHECKED undefined (the default) the wrapper compiles down to a
+// plain std::mutex: lock/unlock inline to the std calls, identical layout.
 #pragma once
 
 #include <condition_variable>
 #include <mutex>
+
+#include "mpl/annotations.hpp"
 
 #ifdef MPL_CHECKED
 #include <stdexcept>
@@ -48,6 +63,10 @@ enum class LockLevel : int {
   /// watchdog publishes its report only after releasing the mailbox locks
   /// it sampled, and waiters read it with no lock held.
   stall_info = 5,
+  /// First-error capture slot of mpl::run (ErrorSlot): a failing rank
+  /// stores its exception, releases, and only then aborts the runtime —
+  /// so this too is always a leaf.
+  error_capture = 6,
 };
 
 #ifdef MPL_CHECKED
@@ -63,8 +82,9 @@ class LockTracker {
       throw std::logic_error(
           "mpl[checked]: lock-order violation: acquiring level " +
           std::to_string(l) + " (" + name(level) + ") while holding level " +
-          std::to_string(held_[nheld_ - 1]) +
-          " — the lock hierarchy requires strictly increasing levels");
+          std::to_string(held_[nheld_ - 1]) + " (" +
+          name(static_cast<LockLevel>(held_[nheld_ - 1])) +
+          ") — the lock hierarchy requires strictly increasing levels");
     }
     if (nheld_ >= kMaxHeld) {
       throw std::logic_error("mpl[checked]: lock nesting too deep");
@@ -89,6 +109,18 @@ class LockTracker {
   /// Number of tracked locks the calling thread currently holds.
   static int held_count() noexcept { return nheld_; }
 
+  /// Whether the calling thread holds a tracked lock of `level`. Used for
+  /// discipline rules the pure hierarchy cannot express — e.g. BufferPool
+  /// recycle (level 4) must never run under a mailbox lock (level 3), even
+  /// though 3 -> 4 is an increasing and therefore hierarchy-legal nesting.
+  static bool holds(LockLevel level) noexcept {
+    const int l = static_cast<int>(level);
+    for (int i = 0; i < nheld_; ++i) {
+      if (held_[i] == l) return true;
+    }
+    return false;
+  }
+
   /// Waiting on a condvar releases exactly one lock; holding any other
   /// tracked lock across the wait risks a lost wakeup (the notifier may
   /// block on that other lock forever). Called by CheckedCondVar.
@@ -102,7 +134,6 @@ class LockTracker {
     }
   }
 
- private:
   static const char* name(LockLevel level) {
     switch (level) {
       case LockLevel::comm_registry: return "comm_registry";
@@ -110,10 +141,12 @@ class LockTracker {
       case LockLevel::mailbox: return "mailbox";
       case LockLevel::buffer_pool: return "buffer_pool";
       case LockLevel::stall_info: return "stall_info";
+      case LockLevel::error_capture: return "error_capture";
     }
     return "?";
   }
 
+ private:
   static thread_local int held_[kMaxHeld];
   static thread_local int nheld_;
 };
@@ -121,33 +154,56 @@ class LockTracker {
 inline thread_local int LockTracker::held_[LockTracker::kMaxHeld] = {};
 inline thread_local int LockTracker::nheld_ = 0;
 
-/// std::mutex wrapper carrying its hierarchy level; satisfies Lockable.
+#endif  // MPL_CHECKED
+
+/// std::mutex wrapper carrying its hierarchy level in the type and a TSA
+/// capability on the class; satisfies Lockable. The runtime level tracking
+/// exists only under MPL_CHECKED; otherwise lock/unlock inline straight to
+/// std::mutex.
 template <LockLevel Level>
-class CheckedMutex {
+class MPL_CAPABILITY("mutex") CheckedMutex {
  public:
-  void lock() {
-    mtx_.lock();
+  /// Runtime hierarchy level, readable by generic code (CheckedLock, the
+  /// pool's no-mailbox-held assertion) without knowing the concrete alias.
+  static constexpr LockLevel kLevel = Level;
+
+  void lock() MPL_ACQUIRE() {
+#ifdef MPL_CHECKED
+    // Validate the order BEFORE touching the real mutex: an inverted
+    // acquisition that would block can deadlock inside mtx_.lock() with
+    // the diagnostic never reached — the tracker must reject the order,
+    // not hang on it. (It also keeps the real mutex from ever being
+    // locked in an inverted order, so TSan's pthread deadlock detector
+    // stays quiet on the deliberate-inversion tests.)
+    LockTracker::acquired(Level);
     try {
-      LockTracker::acquired(Level);
+      mtx_.lock();
     } catch (...) {
-      mtx_.unlock();
+      LockTracker::released(Level);
       throw;
     }
+#else
+    mtx_.lock();
+#endif
   }
 
-  bool try_lock() {
-    if (!mtx_.try_lock()) return false;
-    try {
-      LockTracker::acquired(Level);
-    } catch (...) {
-      mtx_.unlock();
-      throw;
+  bool try_lock() MPL_TRY_ACQUIRE(true) {
+#ifdef MPL_CHECKED
+    LockTracker::acquired(Level);  // reject inverted orders up front
+    if (!mtx_.try_lock()) {
+      LockTracker::released(Level);
+      return false;
     }
     return true;
+#else
+    return mtx_.try_lock();
+#endif
   }
 
-  void unlock() {
+  void unlock() MPL_RELEASE() {
+#ifdef MPL_CHECKED
     LockTracker::released(Level);
+#endif
     mtx_.unlock();
   }
 
@@ -155,26 +211,61 @@ class CheckedMutex {
   std::mutex mtx_;
 };
 
-/// Condition variable over CheckedMutex; every wait first proves the
-/// calling thread holds no tracked lock besides the one being released.
+/// Scoped lock over a CheckedMutex, annotated as a TSA scoped capability —
+/// the std::unique_lock/std::lock_guard replacement every tracked
+/// acquisition in the transport uses (the std guards carry no annotations,
+/// so TSA could not see their critical sections). Satisfies BasicLockable
+/// via lock()/unlock(), which is what CheckedCondVar::wait needs to
+/// release/reacquire around the sleep.
+template <typename Mutex>
+class MPL_SCOPED_CAPABILITY CheckedLock {
+ public:
+  explicit CheckedLock(Mutex& m) MPL_ACQUIRE(m) : mtx_(m) { mtx_.lock(); }
+
+  CheckedLock(const CheckedLock&) = delete;
+  CheckedLock& operator=(const CheckedLock&) = delete;
+
+  ~CheckedLock() MPL_RELEASE() {
+    if (owns_) mtx_.unlock();
+  }
+
+  /// Manual re-acquire/release inside the scope (condvar protocol).
+  void lock() MPL_ACQUIRE() {
+    mtx_.lock();
+    owns_ = true;
+  }
+  void unlock() MPL_RELEASE() {
+    mtx_.unlock();
+    owns_ = false;
+  }
+
+ private:
+  Mutex& mtx_;
+  bool owns_ = true;
+};
+
+/// Condition variable over CheckedMutex. Under MPL_CHECKED every wait
+/// first proves the calling thread holds no tracked lock besides the one
+/// being released; otherwise it is a plain condition_variable_any (needed
+/// because CheckedMutex is not std::mutex, even in release builds).
 class CheckedCondVar {
  public:
   template <typename Lock>
   void wait(Lock& lk) {
-    LockTracker::check_wait();
+    check_wait();
     cv_.wait(lk);
   }
 
   template <typename Lock, typename Pred>
   void wait(Lock& lk, Pred pred) {
-    LockTracker::check_wait();
+    check_wait();
     cv_.wait(lk, std::move(pred));
   }
 
   template <typename Lock, typename Rep, typename Period, typename Pred>
   bool wait_for(Lock& lk, const std::chrono::duration<Rep, Period>& dur,
                 Pred pred) {
-    LockTracker::check_wait();
+    check_wait();
     return cv_.wait_for(lk, dur, std::move(pred));
   }
 
@@ -182,21 +273,20 @@ class CheckedCondVar {
   void notify_all() noexcept { cv_.notify_all(); }
 
  private:
+  static void check_wait() {
+#ifdef MPL_CHECKED
+    LockTracker::check_wait();
+#endif
+  }
+
   std::condition_variable_any cv_;
 };
-
-#else  // !MPL_CHECKED
-
-template <LockLevel>
-using CheckedMutex = std::mutex;
-using CheckedCondVar = std::condition_variable;
-
-#endif  // MPL_CHECKED
 
 using CommRegistryMutex = CheckedMutex<LockLevel::comm_registry>;
 using OobBarrierMutex = CheckedMutex<LockLevel::oob_barrier>;
 using MailboxMutex = CheckedMutex<LockLevel::mailbox>;
 using BufferPoolMutex = CheckedMutex<LockLevel::buffer_pool>;
 using StallInfoMutex = CheckedMutex<LockLevel::stall_info>;
+using ErrorCaptureMutex = CheckedMutex<LockLevel::error_capture>;
 
 }  // namespace mpl::detail

@@ -86,8 +86,9 @@ class Comm {
   Status probe(int src, int tag = ANY_TAG) const;
 
   /// Non-blocking probe (MPI_Iprobe): true when a matching message is
-  /// already queued; fills `st` with its envelope.
-  bool iprobe(int src, int tag = ANY_TAG, Status* st = nullptr) const;
+  /// already queued; fills `st` with its envelope (not filled on a miss).
+  [[nodiscard]] bool iprobe(int src, int tag = ANY_TAG,
+                            Status* st = nullptr) const;
 
   /// Matching channels. Collective implementations communicate on the
   /// `coll` channel (a shadow context), so user point-to-point traffic —

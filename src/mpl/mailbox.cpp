@@ -58,7 +58,7 @@ void Mailbox::deliver(Message msg) {
   std::shared_ptr<ReqState> match;
   bool wake = false;
   {
-    std::lock_guard lock(mtx_);
+    detail::CheckedLock lock(mtx_);
     for (auto it = posted_.begin(); it != posted_.end(); ++it) {
       if (matches(**it, msg)) {
         match = std::move(*it);
@@ -87,7 +87,7 @@ void Mailbox::deliver(Message msg) {
   // owner's predicated cv_ wait lost-wakeup-free; the release order still
   // pairs with the lock-free acquire loads in poll_done()/test().
   {
-    std::lock_guard lock(mtx_);
+    detail::CheckedLock lock(mtx_);
     match->done.store(true, std::memory_order_release);
     wake = wait_kind_ == WaitKind::any ||
            (wait_kind_ == WaitKind::request && wait_req_ == match.get());
@@ -115,7 +115,7 @@ bool Mailbox::probe_unexpected(std::uint64_t ctx, int src, int tag,
   // Claimed messages are the oldest arrivals; check them first so the
   // probed envelope is the one a matching receive would consume.
   if (probe_match(claimed_, ctx, src, tag, st)) return true;
-  std::lock_guard lock(mtx_);
+  detail::CheckedLock lock(mtx_);
   return probe_match(unexpected_, ctx, src, tag, st);
 }
 
@@ -126,13 +126,16 @@ Status Mailbox::wait_probe(std::uint64_t ctx, int src, int tag) {
   if (probe_match(claimed_, ctx, src, tag, &st0)) return st0;
   bool timed_out = false;
   {
-    std::unique_lock lock(mtx_);
+    detail::CheckedLock lock(mtx_);
     Status st;
     wait_kind_ = WaitKind::probe;
     probe_ctx_ = ctx;
     probe_src_ = src;
     probe_tag_ = tag;
-    auto stop = [&] {
+    // The predicate scans the guarded unexpected_ queue, so it carries the
+    // capability contract; every evaluation site holds mtx_ (timed_wait is
+    // REQUIRES(mtx_), and the condvar re-acquires before re-evaluating).
+    auto stop = [&]() MPL_REQUIRES(mtx_) {
       return probe_match(unexpected_, ctx, src, tag, &st) || aborting();
     };
     blocked_.store(true, std::memory_order_relaxed);
@@ -166,7 +169,7 @@ void Mailbox::post_recv(const std::shared_ptr<ReqState>& r) {
   }
   Message msg;
   {
-    std::lock_guard lock(mtx_);
+    detail::CheckedLock lock(mtx_);
     auto it = unexpected_.begin();
     for (; it != unexpected_.end(); ++it) {
       if (matches(*r, *it)) break;
@@ -202,7 +205,7 @@ bool Mailbox::try_recv_now(std::uint64_t ctx, int src, int tag,
     const std::ptrdiff_t scanned =
         static_cast<std::ptrdiff_t>(claimed_.size());
     {
-      std::lock_guard lock(mtx_);
+      detail::CheckedLock lock(mtx_);
       if (unexpected_.empty()) return false;
       if (claimed_.empty()) {
         claimed_.swap(unexpected_);
@@ -245,7 +248,7 @@ void Mailbox::wait_done(const std::shared_ptr<ReqState>& r) {
   }
   bool timed_out = false;
   {
-    std::unique_lock lock(mtx_);
+    detail::CheckedLock lock(mtx_);
     wait_kind_ = WaitKind::request;
     wait_req_ = r.get();
     auto stop = [&] {
@@ -271,12 +274,12 @@ void Mailbox::wait_done(const std::shared_ptr<ReqState>& r) {
 }
 
 void Mailbox::notify_abort() {
-  std::lock_guard lock(mtx_);
+  detail::CheckedLock lock(mtx_);
   cv_.notify_all();
 }
 
 void Mailbox::dump_pending(std::ostream& os) {
-  std::lock_guard lock(mtx_);
+  detail::CheckedLock lock(mtx_);
   os << "  rank " << rank_ << ": ";
   switch (wait_kind_) {
     case WaitKind::none:

@@ -27,6 +27,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "mpl/annotations.hpp"
 #include "mpl/checked.hpp"
 #include "mpl/fault.hpp"
 #include "mpl/pool.hpp"
@@ -105,19 +106,20 @@ class Mailbox {
   /// Append this mailbox's pending state (blocked wait, posted receives,
   /// undelivered inbound messages) to `os`. Takes the mailbox lock; safe
   /// from any thread holding no tracked lock.
-  void dump_pending(std::ostream& os);
+  void dump_pending(std::ostream& os) MPL_EXCLUDES(mtx_);
 
   /// Deliver a message (called by the sending thread). If a matching
   /// receive is posted it is dequeued under the lock, its payload unpacked
   /// after release, and the request completed; otherwise the message is
   /// queued as unexpected. Wakes the owner only when the owner's recorded
   /// wait can be satisfied by this delivery.
-  void deliver(detail::Message msg);
+  void deliver(detail::Message msg) MPL_EXCLUDES(mtx_);
 
   /// Post a receive (called by the owning thread). May complete
   /// immediately against an unexpected message (unpacked outside the
   /// lock).
-  void post_recv(const std::shared_ptr<detail::ReqState>& r);
+  void post_recv(const std::shared_ptr<detail::ReqState>& r)
+      MPL_EXCLUDES(mtx_);
 
   /// Owner-thread fast path for a blocking receive with no model or
   /// tracing accounting armed: match-and-consume an already queued
@@ -126,16 +128,18 @@ class Mailbox {
   /// lock acquisition and serves from it lock-free afterwards. Returns
   /// false when nothing matching is queued (caller falls back to
   /// post_recv + wait). Throws Error on truncation, like wait() would.
-  bool try_recv_now(std::uint64_t ctx, int src, int tag, const Datatype& type,
-                    void* base, int count, Status* st);
+  [[nodiscard]] bool try_recv_now(std::uint64_t ctx, int src, int tag,
+                                  const Datatype& type, void* base, int count,
+                                  Status* st) MPL_EXCLUDES(mtx_);
 
   /// Block the owning thread until `r` completes (or the runtime aborts).
-  void wait_done(const std::shared_ptr<detail::ReqState>& r);
+  void wait_done(const std::shared_ptr<detail::ReqState>& r)
+      MPL_EXCLUDES(mtx_);
 
   /// Non-blocking completion check. Lock-free: the completion flag is
   /// released by the completing thread and acquired here, which also
   /// publishes the other completion fields.
-  bool poll_done(const std::shared_ptr<detail::ReqState>& r) {
+  [[nodiscard]] bool poll_done(const std::shared_ptr<detail::ReqState>& r) {
     return r->done.load(std::memory_order_acquire);
   }
 
@@ -145,11 +149,14 @@ class Mailbox {
   /// timeout armed, gives up after FaultConfig::timeout_ms and throws
   /// TimeoutError with the per-rank pending-operation dump.
   template <typename Pred>
-  void wait_until(Pred&& pred) {
+  void wait_until(Pred&& pred) MPL_EXCLUDES(mtx_) {
     bool timed_out = false;
     {
-      std::unique_lock lock(mtx_);
+      detail::CheckedLock lock(mtx_);
       wait_kind_ = WaitKind::any;
+      // The predicate itself only reads completion atomics supplied by the
+      // caller, never guarded mailbox state, so it carries no capability
+      // contract.
       auto stop = [&] { return pred() || aborting(); };
       blocked_.store(true, std::memory_order_relaxed);
       if (!timeout_armed()) {
@@ -166,14 +173,15 @@ class Mailbox {
 
   /// Match an unexpected (not yet received) message without consuming it
   /// (MPI_Iprobe). Fills `st` and returns true when one is queued.
-  bool probe_unexpected(std::uint64_t ctx, int src, int tag, Status* st);
+  [[nodiscard]] bool probe_unexpected(std::uint64_t ctx, int src, int tag,
+                                      Status* st) MPL_EXCLUDES(mtx_);
 
   /// Blocking probe (MPI_Probe): wait until a matching message is queued,
   /// return its envelope without consuming it.
-  Status wait_probe(std::uint64_t ctx, int src, int tag);
+  Status wait_probe(std::uint64_t ctx, int src, int tag) MPL_EXCLUDES(mtx_);
 
   /// Wake all waiters so they can observe the abort flag.
-  void notify_abort();
+  void notify_abort() MPL_EXCLUDES(mtx_);
 
  private:
   /// What the owning thread is currently blocked on. Guarded by mtx_;
@@ -187,7 +195,13 @@ class Mailbox {
   };
 
   static bool matches(const detail::ReqState& r, const detail::Message& m);
-  static void complete(detail::ReqState& r, detail::Message& m);
+  /// Unpack a matched (request, message) pair and recycle the payload to
+  /// its origin pool. Must run with the mailbox lock released: the unpack
+  /// is the expensive phase-2 of delivery, and recycling to the pool while
+  /// holding the mailbox would couple every sender to this receiver's
+  /// pool contention (BufferPool::recycle additionally asserts no mailbox
+  /// lock is held under MPL_CHECKED).
+  void complete(detail::ReqState& r, detail::Message& m) MPL_EXCLUDES(mtx_);
 
   [[nodiscard]] bool aborting() const noexcept {
     return abort_flag_ && abort_flag_->load(std::memory_order_relaxed);
@@ -200,7 +214,7 @@ class Mailbox {
   /// so an abort is never missed for long. Returns false on timeout with
   /// `stop` still unsatisfied; the caller owns the lock throughout.
   template <typename Lock, typename Pred>
-  bool timed_wait(Lock& lock, Pred stop) {
+  bool timed_wait(Lock& lock, Pred stop) MPL_REQUIRES(mtx_) {
     using clock = std::chrono::steady_clock;
     const auto deadline =
         clock::now() + std::chrono::duration_cast<clock::duration>(
@@ -217,17 +231,23 @@ class Mailbox {
   /// Diagnose a failed blocking wait (defined in mailbox.cpp: needs the
   /// RuntimeState definition). Throws TimeoutError on timeout or when the
   /// watchdog published a stall report; a plain abort throws Error.
-  [[noreturn]] void fail_wait(bool timed_out, const std::string& what);
+  /// Assembles the per-rank dump, which takes every mailbox lock in turn —
+  /// hence the no-lock-held contract.
+  [[noreturn]] void fail_wait(bool timed_out, const std::string& what)
+      MPL_EXCLUDES(mtx_);
 
   detail::MailboxMutex mtx_;
   detail::CheckedCondVar cv_;
-  std::deque<detail::Message> unexpected_;
+  std::deque<detail::Message> unexpected_ MPL_GUARDED_BY(mtx_);
   /// Unexpected messages the owner has claimed from unexpected_ in one
   /// locked bulk move (try_recv_now). Strictly older than everything in
   /// unexpected_, in arrival order, and touched ONLY by the owning
   /// thread — every matching path consults it first, lock-free.
+  /// Deliberately NOT guarded: single-threaded by the ownership rule, not
+  /// by a lock (the one shared touch, the bulk claim, happens under mtx_
+  /// on the owner's side only).
   std::deque<detail::Message> claimed_;
-  std::vector<std::shared_ptr<detail::ReqState>> posted_;
+  std::vector<std::shared_ptr<detail::ReqState>> posted_ MPL_GUARDED_BY(mtx_);
   const std::atomic<bool>* abort_flag_ = nullptr;
   const trace::Tracer* tracer_ = nullptr;
   const FaultPlan* faults_ = nullptr;
@@ -240,11 +260,16 @@ class Mailbox {
   /// Owner parked in a blocking cv wait (watchdog stall condition input).
   std::atomic<bool> blocked_{false};
 
-  WaitKind wait_kind_ = WaitKind::none;  // guarded by mtx_
-  const detail::ReqState* wait_req_ = nullptr;  // target of WaitKind::request
-  std::uint64_t probe_ctx_ = 0;  // criteria of WaitKind::probe
-  int probe_src_ = ANY_SOURCE;
-  int probe_tag_ = ANY_TAG;
+  WaitKind wait_kind_ MPL_GUARDED_BY(mtx_) = WaitKind::none;
+  /// Target of WaitKind::request. The pointer slot is written/compared
+  /// under mtx_; the pointee is only dereferenced by dump_pending, also
+  /// under mtx_ (completion fields proper are published via the atomic
+  /// `done`, not this lock).
+  const detail::ReqState* wait_req_ MPL_GUARDED_BY(mtx_)
+      MPL_PT_GUARDED_BY(mtx_) = nullptr;
+  std::uint64_t probe_ctx_ MPL_GUARDED_BY(mtx_) = 0;  // WaitKind::probe
+  int probe_src_ MPL_GUARDED_BY(mtx_) = ANY_SOURCE;
+  int probe_tag_ MPL_GUARDED_BY(mtx_) = ANY_TAG;
 };
 
 }  // namespace mpl

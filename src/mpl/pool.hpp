@@ -13,9 +13,13 @@
 //   - acquire() is called by the owning process only, with no locks held.
 //   - recycle() may be called from any thread (it is the receiver giving a
 //     buffer back) but never under a mailbox lock: Mailbox::complete runs
-//     outside the mailbox mutex, and BufferPoolMutex sits above the
-//     mailbox level in the checked hierarchy so a violation would throw
-//     under MPL_CHECKED.
+//     outside the mailbox mutex. Note the pure level hierarchy cannot
+//     catch a violation — mailbox (3) -> buffer_pool (4) is an increasing
+//     and therefore hierarchy-legal nesting — so recycle() asserts
+//     explicitly under MPL_CHECKED that no mailbox lock is held (the rule
+//     is about sender/receiver decoupling, not deadlock: recycling under
+//     the mailbox mutex would serialize every sender to this receiver's
+//     pool contention).
 //   - A Buffer that never reaches a receiver (unexpected message dropped
 //     at shutdown) is simply freed by its destructor; pools never have to
 //     be drained explicitly and never reference buffers in flight.
@@ -29,6 +33,7 @@
 #include <mutex>
 #include <vector>
 
+#include "mpl/annotations.hpp"
 #include "mpl/checked.hpp"
 #include "mpl/fault.hpp"
 
@@ -94,11 +99,12 @@ class BufferPool {
   }
 
   /// Get a buffer with logical size `n` (contents undefined). Never called
-  /// with a tracked lock held.
-  Buffer acquire(std::size_t n) {
+  /// with a tracked lock held; the ensure() growth runs outside the pool
+  /// lock so a freelist miss does not serialize other recyclers.
+  [[nodiscard]] Buffer acquire(std::size_t n) MPL_EXCLUDES(mtx_) {
     Buffer b;
     {
-      std::lock_guard lock(mtx_);
+      CheckedLock lock(mtx_);
       if (faults_ && faults_->pool_forced_miss(rank_, acquires_++)) {
         ++stats_.misses;
         ++stats_.forced_misses;
@@ -114,12 +120,21 @@ class BufferPool {
     return b;
   }
 
-  /// Return a buffer to the freelist (any thread; no mailbox lock held).
-  void recycle(Buffer&& b) {
+  /// Return a buffer to the freelist (any thread; no mailbox lock held —
+  /// asserted under MPL_CHECKED, see the lifetime rules above).
+  void recycle(Buffer&& b) MPL_EXCLUDES(mtx_) {
+#ifdef MPL_CHECKED
+    if (LockTracker::holds(LockLevel::mailbox)) {
+      throw std::logic_error(
+          "mpl[checked]: BufferPool::recycle called while holding a mailbox "
+          "lock — buffers must be recycled after delivery phase-2, outside "
+          "the mailbox critical section");
+    }
+#endif
     if (b.capacity() == 0) return;  // nothing to keep
     const std::size_t depth_cap =
         faults_ ? std::min(kMaxPooled, faults_->pool_cap()) : kMaxPooled;
-    std::lock_guard lock(mtx_);
+    CheckedLock lock(mtx_);
     if (free_.size() < depth_cap && b.capacity() <= kMaxPooledBytes) {
       free_.push_back(std::move(b));
       ++stats_.recycled;
@@ -128,18 +143,19 @@ class BufferPool {
     }
   }
 
-  [[nodiscard]] Stats stats() {
-    std::lock_guard lock(mtx_);
+  [[nodiscard]] Stats stats() MPL_EXCLUDES(mtx_) {
+    CheckedLock lock(mtx_);
     return stats_;
   }
 
  private:
   BufferPoolMutex mtx_;
-  std::vector<Buffer> free_;
-  Stats stats_;
-  const mpl::FaultPlan* faults_ = nullptr;
-  int rank_ = -1;
-  std::uint64_t acquires_ = 0;  // guarded by mtx_ (fault decision sequence)
+  std::vector<Buffer> free_ MPL_GUARDED_BY(mtx_);
+  Stats stats_ MPL_GUARDED_BY(mtx_);
+  const mpl::FaultPlan* faults_ = nullptr;  // set before threads start
+  int rank_ = -1;                           // set before threads start
+  /// Fault decision sequence number.
+  std::uint64_t acquires_ MPL_GUARDED_BY(mtx_) = 0;
 };
 
 }  // namespace mpl::detail

@@ -83,8 +83,10 @@ class Request {
   /// Block until the operation completes; returns its Status.
   Status wait();
 
-  /// Non-blocking completion check; fills `st` when done.
-  bool test(Status* st = nullptr);
+  /// Non-blocking completion check; fills `st` when done. Discarding the
+  /// result is always a bug: a false return means the operation is still
+  /// pending and `st` was not filled.
+  [[nodiscard]] bool test(Status* st = nullptr);
 
  private:
   friend class Comm;
@@ -110,6 +112,7 @@ Status wait_any(std::span<Request> reqs, std::size_t* index);
 
 /// Non-blocking variant: true when some request has completed (its index
 /// and status returned as for wait_any).
-bool test_any(std::span<Request> reqs, std::size_t* index, Status* st = nullptr);
+[[nodiscard]] bool test_any(std::span<Request> reqs, std::size_t* index,
+                            Status* st = nullptr);
 
 }  // namespace mpl

@@ -24,12 +24,12 @@ Proc* this_proc() noexcept { return tls_proc; }
 namespace detail {
 
 void RuntimeState::publish_comm(const std::shared_ptr<CommState>& st) {
-  std::lock_guard lock(comm_mtx_);
+  CheckedLock lock(comm_mtx_);
   published_.emplace(st->ctx, st);
 }
 
 std::shared_ptr<CommState> RuntimeState::lookup_comm(std::uint64_t ctx) {
-  std::lock_guard lock(comm_mtx_);
+  CheckedLock lock(comm_mtx_);
   auto it = published_.find(ctx);
   MPL_REQUIRE(it != published_.end(), "internal: unknown communicator context");
   return it->second;
@@ -101,8 +101,7 @@ void run(int nprocs, const std::function<void(Comm&)>& fn,
   for (auto& p : rt.procs) world_state->members.push_back(p.get());
   rt.publish_comm(world_state);
 
-  std::mutex err_mtx;
-  std::exception_ptr first_error;
+  detail::ErrorSlot errors;
 
   // Progress watchdog: a run is stalled when every live rank is parked in a
   // blocking mailbox wait and no delivery happened for a full period. The
@@ -162,10 +161,7 @@ void run(int nprocs, const std::function<void(Comm&)>& fn,
         Comm world = CommBuilder::make(world_state, r);
         fn(world);
       } catch (...) {
-        {
-          std::lock_guard<std::mutex> lock(err_mtx);
-          if (!first_error) first_error = std::current_exception();
-        }
+        errors.capture(std::current_exception());
         // Wake every blocked process so the whole run can unwind.
         rt.request_abort();
       }
@@ -179,7 +175,7 @@ void run(int nprocs, const std::function<void(Comm&)>& fn,
   wd_stop.store(true, std::memory_order_relaxed);
   if (watchdog.joinable()) watchdog.join();
 
-  if (first_error) std::rethrow_exception(first_error);
+  if (auto first_error = errors.first()) std::rethrow_exception(first_error);
 
   // All process threads joined: the per-rank rings are safe to read.
   const std::string trace_error = rt.tracer.flush();

@@ -5,6 +5,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <exception>
 #include <stdexcept>
 #include <memory>
 #include <mutex>
@@ -12,6 +13,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "mpl/annotations.hpp"
 #include "mpl/checked.hpp"
 #include "mpl/fault.hpp"
 #include "mpl/netmodel.hpp"
@@ -38,29 +40,57 @@ struct RuntimeState {
   }
 
   /// Publish the watchdog's stall diagnosis (first writer wins; set before
-  /// request_abort() so every unwinding waiter can read it).
-  void set_stall_report(const std::string& report) {
-    std::lock_guard lock(stall_mtx_);
+  /// request_abort() so every unwinding waiter can read it). Leaf lock: the
+  /// caller must have released the mailbox locks it sampled for the report.
+  void set_stall_report(const std::string& report) MPL_EXCLUDES(stall_mtx_) {
+    CheckedLock lock(stall_mtx_);
     if (stall_report_.empty()) stall_report_ = report;
   }
 
   /// The stall report, or "" when the watchdog never fired.
-  std::string stall_report() {
-    std::lock_guard lock(stall_mtx_);
+  std::string stall_report() MPL_EXCLUDES(stall_mtx_) {
+    CheckedLock lock(stall_mtx_);
     return stall_report_;
   }
 
   /// Hand a freshly created communicator state to the other group members.
   /// The leader publishes before announcing the context id, so lookups by
   /// members that learned the id are guaranteed to succeed.
-  void publish_comm(const std::shared_ptr<CommState>& st);
-  std::shared_ptr<CommState> lookup_comm(std::uint64_t ctx);
+  void publish_comm(const std::shared_ptr<CommState>& st)
+      MPL_EXCLUDES(comm_mtx_);
+  std::shared_ptr<CommState> lookup_comm(std::uint64_t ctx)
+      MPL_EXCLUDES(comm_mtx_);
 
  private:
   CommRegistryMutex comm_mtx_;
-  std::unordered_map<std::uint64_t, std::shared_ptr<CommState>> published_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<CommState>> published_
+      MPL_GUARDED_BY(comm_mtx_);
   StallInfoMutex stall_mtx_;
-  std::string stall_report_;
+  std::string stall_report_ MPL_GUARDED_BY(stall_mtx_);
+};
+
+/// First-error capture of one mpl::run: the first failing rank's exception
+/// wins; everyone else's unwinding (triggered by the abort that follows)
+/// is ignored. A leaf lock (error_capture, level 6): a failing thread
+/// stores under the lock, releases, and only then calls request_abort(),
+/// which takes mailbox locks.
+class ErrorSlot {
+ public:
+  /// Record `e` if no error has been recorded yet.
+  void capture(std::exception_ptr e) MPL_EXCLUDES(mtx_) {
+    CheckedLock lock(mtx_);
+    if (!first_) first_ = std::move(e);
+  }
+
+  /// The first captured error, or null. Called after all ranks joined.
+  [[nodiscard]] std::exception_ptr first() MPL_EXCLUDES(mtx_) {
+    CheckedLock lock(mtx_);
+    return first_;
+  }
+
+ private:
+  ErrorCaptureMutex mtx_;
+  std::exception_ptr first_ MPL_GUARDED_BY(mtx_);
 };
 
 /// Clock-neutral, sense-reversing barrier used for out-of-band
@@ -72,9 +102,9 @@ class OobBarrier {
   OobBarrier(int n, const std::atomic<bool>* abort_flag)
       : count_(n), waiting_(0), abort_flag_(abort_flag) {}
 
-  void arrive_and_wait() {
+  void arrive_and_wait() MPL_EXCLUDES(mtx_) {
     using namespace std::chrono_literals;
-    std::unique_lock lock(mtx_);
+    CheckedLock lock(mtx_);
     const bool sense = sense_;
     if (++waiting_ == count_) {
       waiting_ = 0;
@@ -82,7 +112,10 @@ class OobBarrier {
       cv_.notify_all();
       return;
     }
-    while (!cv_.wait_for(lock, 50ms, [&] { return sense_ != sense; })) {
+    // The predicate reads the guarded sense flag; it is only evaluated by
+    // the condvar with mtx_ re-acquired, hence the capability contract.
+    auto flipped = [&]() MPL_REQUIRES(mtx_) { return sense_ != sense; };
+    while (!cv_.wait_for(lock, 50ms, flipped)) {
       if (abort_flag_ && abort_flag_->load(std::memory_order_relaxed)) {
         throw std::runtime_error("mpl: runtime aborted inside barrier");
       }
@@ -92,9 +125,9 @@ class OobBarrier {
  private:
   OobBarrierMutex mtx_;
   CheckedCondVar cv_;
-  int count_;
-  int waiting_;
-  bool sense_ = false;
+  const int count_;
+  int waiting_ MPL_GUARDED_BY(mtx_);
+  bool sense_ MPL_GUARDED_BY(mtx_) = false;
   const std::atomic<bool>* abort_flag_;
 };
 

@@ -11,8 +11,10 @@
 #include <chrono>
 #include <mutex>
 #include <stdexcept>
+#include <string>
 
 #include "mpl/checked.hpp"
+#include "mpl/pool.hpp"
 
 #ifndef MPL_CHECKED
 
@@ -37,11 +39,38 @@ TEST(MplChecked, IncreasingHierarchyIsAdmitted) {
   SUCCEED();
 }
 
+// Run `body` expecting a logic_error; returns its message ("" if it did
+// not throw, which the caller then fails on).
+template <typename F>
+static std::string violation_message(F&& body) {
+  try {
+    body();
+  } catch (const std::logic_error& e) {
+    return e.what();
+  }
+  return {};
+}
+
 TEST(MplChecked, OrderInversionThrows) {
   CommRegistryMutex registry;
   MailboxMutex mailbox;
   std::lock_guard a(mailbox);
   EXPECT_THROW(registry.lock(), std::logic_error);
+}
+
+TEST(MplChecked, OrderInversionNamesBothLevels) {
+  // The diagnostic must name the level being acquired AND the level held,
+  // with their numbers — a report naming only one side sends the reader
+  // hunting through every lock site.
+  CommRegistryMutex registry;
+  MailboxMutex mailbox;
+  std::lock_guard a(mailbox);
+  const std::string msg = violation_message([&] { registry.lock(); });
+  ASSERT_FALSE(msg.empty()) << "inverted acquisition did not throw";
+  EXPECT_NE(msg.find("comm_registry"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("mailbox"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("level 1"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("level 3"), std::string::npos) << msg;
 }
 
 TEST(MplChecked, SameLevelNestingThrows) {
@@ -52,6 +81,54 @@ TEST(MplChecked, SameLevelNestingThrows) {
   MailboxMutex b;
   std::lock_guard la(a);
   EXPECT_THROW(b.lock(), std::logic_error);
+}
+
+TEST(MplChecked, SameLevelNestingNamesTheLevel) {
+  MailboxMutex a;
+  MailboxMutex b;
+  std::lock_guard la(a);
+  const std::string msg = violation_message([&] { b.lock(); });
+  ASSERT_FALSE(msg.empty()) << "same-level re-entry did not throw";
+  // Both sides of the report are the mailbox level.
+  EXPECT_NE(msg.find("mailbox"), std::string::npos) << msg;
+  EXPECT_NE(msg.rfind("mailbox"), msg.find("mailbox")) << msg;
+  EXPECT_NE(msg.find("strictly increasing"), std::string::npos) << msg;
+}
+
+TEST(MplChecked, HoldsReportsExactlyTheHeldLevels) {
+  using mpl::detail::LockLevel;
+  using mpl::detail::LockTracker;
+  MailboxMutex mailbox;
+  EXPECT_FALSE(LockTracker::holds(LockLevel::mailbox));
+  {
+    std::lock_guard a(mailbox);
+    EXPECT_TRUE(LockTracker::holds(LockLevel::mailbox));
+    EXPECT_FALSE(LockTracker::holds(LockLevel::buffer_pool));
+  }
+  EXPECT_FALSE(LockTracker::holds(LockLevel::mailbox));
+}
+
+TEST(MplChecked, RecycleUnderMailboxLockThrows) {
+  // The pure hierarchy cannot catch this: mailbox (3) -> buffer_pool (4)
+  // is an increasing, legal nesting. recycle() asserts the rule
+  // explicitly — recycling inside a mailbox critical section would
+  // serialize every sender on this receiver's pool contention.
+  mpl::detail::BufferPool pool;
+  mpl::detail::Buffer buf = pool.acquire(128);
+  MailboxMutex mailbox;
+  std::lock_guard hold(mailbox);
+  const std::string msg =
+      violation_message([&] { pool.recycle(std::move(buf)); });
+  ASSERT_FALSE(msg.empty()) << "recycle under a mailbox lock did not throw";
+  EXPECT_NE(msg.find("recycle"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("mailbox"), std::string::npos) << msg;
+}
+
+TEST(MplChecked, RecycleOutsideMailboxLockIsAdmitted) {
+  mpl::detail::BufferPool pool;
+  mpl::detail::Buffer buf = pool.acquire(128);
+  pool.recycle(std::move(buf));
+  EXPECT_EQ(pool.stats().recycled, 1u);
 }
 
 TEST(MplChecked, FailedAcquireLeavesMutexUsable) {

@@ -1,0 +1,706 @@
+#!/usr/bin/env python3
+"""Static lock-graph lint for the mpl transport.
+
+One mutex declaration drives three checkers (see src/mpl/checked.hpp):
+Clang Thread Safety Analysis proves the annotation contracts at compile
+time, the MPL_CHECKED runtime tracker enforces the hierarchy dynamically,
+and this lint proves — without running anything and without clang — that
+the *declared* static structure is coherent:
+
+  1. The LockLevel enum, the LockTracker::name() switch and the
+     CheckedMutex using-aliases in checked.hpp agree with each other
+     (levels unique, names matching, exactly one alias per level).
+  2. Every mutex member in the scanned sources has a known alias type;
+     every MPL_GUARDED_BY / MPL_PT_GUARDED_BY argument names a mutex that
+     actually exists in the enclosing class.
+  3. The static acquisition-order graph — built from nested CheckedLock
+     scopes, MPL_REQUIRES contexts, and calls to functions annotated as
+     acquiring a lock (MPL_EXCLUDES / MPL_ACQUIRE) while another is held —
+     is acyclic and strictly increasing in level, i.e. the compile-time
+     contracts can never describe an execution the runtime tracker would
+     reject.
+  4. Condition variables (members named cv_) are only waited on while
+     holding exactly one tracked lock (the static mirror of
+     LockTracker::check_wait).
+  5. No raw std::mutex / std::lock_guard / std::unique_lock /
+     std::condition_variable appears outside checked.hpp — untracked
+     locking cannot sneak back in.
+  6. Every MPL_NO_THREAD_SAFETY_ANALYSIS escape hatch carries a
+     justification comment, and the total count stays under a cap.
+  7. The lock-level table in DESIGN.md matches the enum and the aliases,
+     so the documentation cannot drift from the code.
+
+The parser is deliberately regex/state-machine based (no libclang in the
+toolchain): it understands just enough C++ — comment/string stripping,
+brace scopes, class and member-function context — to resolve annotation
+arguments. It is conservative: constructs it cannot resolve are ignored,
+never reported.
+
+Exit status: 0 clean, 1 violations found, 2 bad invocation / parse failure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+
+# Files that *define* the primitives; their internals are exempt from
+# body scanning and from the raw-primitive ban.
+PRIMITIVE_FILES = {"checked.hpp", "annotations.hpp"}
+
+CPP_KEYWORDS = {
+    "if", "for", "while", "switch", "catch", "return", "do", "else", "new",
+    "delete", "sizeof", "alignof", "static_assert", "decltype", "throw",
+    "case", "using", "template", "public", "private", "protected",
+    "namespace", "struct", "class", "enum", "union", "alignas", "noexcept",
+    "const", "constexpr", "static", "inline", "explicit", "virtual",
+    "operator", "typename", "assert", "defined",
+}
+
+RAW_PRIMITIVE_RE = re.compile(
+    r"\bstd\s*::\s*(mutex|timed_mutex|recursive_mutex|recursive_timed_mutex|"
+    r"shared_mutex|shared_timed_mutex|condition_variable|"
+    r"condition_variable_any|lock_guard|unique_lock|scoped_lock|shared_lock)\b"
+)
+
+CONTRACT_RE = re.compile(r"MPL_(REQUIRES|EXCLUDES|ACQUIRE|TRY_ACQUIRE)\s*\(([^()]*)\)")
+GUARD_RE = re.compile(r"MPL_(PT_GUARDED_BY|GUARDED_BY)\s*\(\s*([A-Za-z_]\w*)\s*\)")
+LOCK_RE = re.compile(
+    r"\bCheckedLock\b(?:\s*<[^<>]*>)?\s+[A-Za-z_]\w*\s*[({]\s*"
+    r"(?:[A-Za-z_]\w*(?:\.|->))*([A-Za-z_]\w*)\s*[)}]"
+)
+CALL_RE = re.compile(r"\b([A-Za-z_]\w*)\s*\(")
+CV_WAIT_RE = re.compile(r"\bcv_\s*\.\s*(?:wait|wait_for|wait_until)\s*\(")
+LAMBDA_REQ_RE = re.compile(r"\]\s*\([^()]*\)\s*(?:mutable\s*)?MPL_REQUIRES\s*\(([^()]*)\)")
+CLASS_RE = re.compile(
+    r"\b(class|struct)\s+(?:MPL_\w+\s*(?:\([^()]*\)\s*)?)?(?:\[\[[^\]]*\]\]\s*)?"
+    r"([A-Za-z_]\w*)\b(?!\s*[;)*&])"
+)
+ENUM_RE = re.compile(r"enum\s+class\s+LockLevel[^{]*\{([^}]*)\}", re.S)
+ENUM_VAL_RE = re.compile(r"([A-Za-z_]\w*)\s*=\s*(\d+)")
+NAME_CASE_RE = re.compile(r'case\s+LockLevel::([A-Za-z_]\w*)\s*:\s*return\s*"([^"]*)"')
+ALIAS_RE = re.compile(r"using\s+([A-Za-z_]\w*)\s*=\s*CheckedMutex<\s*LockLevel::([A-Za-z_]\w*)\s*>")
+NTSA_RE = re.compile(r"\bMPL_NO_THREAD_SAFETY_ANALYSIS\b")
+
+
+@dataclass
+class Issue:
+    file: str
+    line: int
+    rule: str
+    msg: str
+
+    def __str__(self) -> str:
+        return f"{self.file}:{self.line}: [{self.rule}] {self.msg}"
+
+
+@dataclass
+class Hierarchy:
+    levels: dict[str, int] = field(default_factory=dict)        # name -> int
+    aliases: dict[str, str] = field(default_factory=dict)       # alias type -> level name
+    names: dict[str, str] = field(default_factory=dict)         # enum name -> name() string
+
+    def level_of_alias(self, alias: str) -> int | None:
+        lv = self.aliases.get(alias)
+        return self.levels.get(lv) if lv else None
+
+    def level_name(self, value: int) -> str:
+        for n, v in self.levels.items():
+            if v == value:
+                return n
+        return "?"
+
+
+# -- events emitted by the scanner, replayed by the resolver ------------------
+
+@dataclass
+class Event:
+    kind: str          # func_enter | lambda_req | acquire | call | cvwait | close
+    line: int
+    depth: int         # scope depth the event applies at
+    cls: str | None = None
+    name: str | None = None   # function / callee / mutex variable
+    args: list[str] = field(default_factory=list)
+
+
+@dataclass
+class FileScan:
+    path: Path
+    rel: str
+    events: list[Event] = field(default_factory=list)
+    # (class, var) -> (alias, line)
+    instances: dict[tuple[str | None, str], tuple[str, int]] = field(default_factory=dict)
+    # (class, func) -> {"requires": [...], "acquires": [...]}
+    contracts: dict[tuple[str | None, str], dict[str, list[str]]] = field(default_factory=dict)
+    # guard annotations to validate: (line, class, var)
+    guards: list[tuple[int, str | None, str]] = field(default_factory=list)
+
+
+def strip_code(text: str) -> str:
+    """Blank comments and string/char literal contents, preserving layout."""
+    out = list(text)
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        if c == "/" and i + 1 < n and text[i + 1] == "/":
+            while i < n and text[i] != "\n":
+                out[i] = " "
+                i += 1
+        elif c == "/" and i + 1 < n and text[i + 1] == "*":
+            out[i] = out[i + 1] = " "
+            i += 2
+            while i < n and not (text[i] == "*" and i + 1 < n and text[i + 1] == "/"):
+                if text[i] != "\n":
+                    out[i] = " "
+                i += 1
+            if i < n:
+                out[i] = out[i + 1] = " "
+                i += 2
+        elif c in "\"'":
+            quote = c
+            i += 1
+            while i < n and text[i] != quote:
+                if text[i] == "\\":
+                    out[i] = " "
+                    i += 1
+                    if i < n and text[i] != "\n":
+                        out[i] = " "
+                    i += 1
+                    continue
+                if text[i] != "\n":
+                    out[i] = " "
+                i += 1
+            i += 1
+        else:
+            i += 1
+    return "".join(out)
+
+
+def split_args(s: str) -> list[str]:
+    return [a.strip() for a in s.split(",") if a.strip()]
+
+
+def base_var(arg: str) -> str:
+    """`p->pool_.mtx_` / `this->mtx_` / `mtx_` -> trailing identifier."""
+    m = re.search(r"([A-Za-z_]\w*)\s*$", arg)
+    return m.group(1) if m else arg
+
+
+class Scanner:
+    """Single pass over one file: tracks brace scopes, class and function
+    context, and emits resolution events in source order."""
+
+    def __init__(self, path: Path, rel: str, mutex_aliases: set[str]):
+        self.fs = FileScan(path, rel)
+        self.mutex_aliases = mutex_aliases
+        self.depth = 0
+        # stack of (kind, name, cls, open_depth); kind in class/ns/func/block
+        self.scopes: list[tuple[str, str | None, str | None, int]] = []
+
+    # -- context helpers -----------------------------------------------------
+
+    def current_class(self) -> str | None:
+        for kind, name, cls, _ in reversed(self.scopes):
+            if kind == "func":
+                return cls
+            if kind == "class":
+                return name
+        return None
+
+    def in_function(self) -> bool:
+        return any(kind == "func" for kind, _, _, _ in self.scopes)
+
+    # -- chunk handlers ------------------------------------------------------
+
+    def scan(self, stripped: str) -> FileScan:
+        buf: list[str] = []
+        line = 1
+        chunk_line = 1
+        for ch in stripped:
+            if ch == "\n":
+                line += 1
+            if ch == "{":
+                self.handle_open("".join(buf), chunk_line)
+                buf = []
+                chunk_line = line
+            elif ch == "}":
+                self.handle_close(line)
+                buf = []
+                chunk_line = line
+            elif ch == ";":
+                self.handle_statement("".join(buf), chunk_line)
+                buf = []
+                chunk_line = line
+            else:
+                if not buf and not ch.isspace():
+                    chunk_line = line
+                buf.append(ch)
+        return self.fs
+
+    def handle_open(self, text: str, line: int) -> None:
+        cls_ctx = self.current_class()
+        opened = ("block", None, None, self.depth)
+
+        lam = LAMBDA_REQ_RE.search(text)
+        cm = CLASS_RE.search(text)
+        if lam is not None:
+            # A lambda annotated with a capability requirement: its body runs
+            # with those locks held.
+            self.fs.events.append(Event("lambda_req", line, self.depth + 1,
+                                        cls_ctx, None, split_args(lam.group(1))))
+            self.scan_calls(text, line)
+        elif cm is not None and "=" not in text.split(cm.group(0))[0]:
+            opened = ("class", cm.group(2), None, self.depth)
+        elif re.search(r"\bnamespace\b", text):
+            opened = ("ns", None, None, self.depth)
+        elif not self.in_function():
+            fn = self.function_name(text)
+            if fn is not None:
+                fcls, fname = fn
+                cls = fcls or cls_ctx
+                self.record_contracts(text, cls, fname)
+                self.fs.events.append(Event("func_enter", line, self.depth + 1,
+                                            cls, fname))
+                opened = ("func", fname, cls, self.depth)
+            else:
+                self.scan_body_text(text, line)
+        else:
+            # Control-flow opener (if/for/while/...) inside a function body.
+            self.scan_body_text(text, line)
+
+        self.scopes.append(opened)
+        self.depth += 1
+
+    def handle_close(self, line: int) -> None:
+        self.depth = max(0, self.depth - 1)
+        if self.scopes and self.scopes[-1][3] == self.depth:
+            self.scopes.pop()
+        self.fs.events.append(Event("close", line, self.depth))
+
+    def handle_statement(self, text: str, line: int) -> None:
+        if not text.strip():
+            return
+        cls = self.current_class()
+
+        # Mutex member declaration: `detail::MailboxMutex mtx_;` etc.
+        dm = re.search(
+            r"\b(?:(?:mpl::)?detail::)?([A-Za-z_]\w*Mutex)\s+([A-Za-z_]\w*)\s*$",
+            text.strip())
+        if dm and dm.group(1) in self.mutex_aliases:
+            self.fs.instances[(cls, dm.group(2))] = (dm.group(1), line)
+            return
+
+        for g in GUARD_RE.finditer(text):
+            self.fs.guards.append((line, cls, g.group(2)))
+
+        # Function declaration carrying contracts (prototype ending in `;`).
+        if CONTRACT_RE.search(text) and not GUARD_RE.search(text):
+            fn = self.function_name(text)
+            if fn is not None:
+                fcls, fname = fn
+                self.record_contracts(text, fcls or cls, fname)
+
+        if self.in_function():
+            self.scan_body_text(text, line)
+
+        lam = LAMBDA_REQ_RE.search(text)
+        if lam is not None:
+            # `auto f = [&]() MPL_REQUIRES(m) { ... }` with the body already
+            # closed lands here as a plain statement; the opener path above
+            # handled the held-context registration.
+            pass
+
+    # -- extraction helpers --------------------------------------------------
+
+    def scan_body_text(self, text: str, line: int) -> None:
+        cls = self.current_class()
+        for lm in LOCK_RE.finditer(text):
+            self.fs.events.append(Event("acquire", line, self.depth, cls,
+                                        lm.group(1)))
+        if CV_WAIT_RE.search(text):
+            self.fs.events.append(Event("cvwait", line, self.depth, cls))
+        self.scan_calls(text, line)
+
+    def scan_calls(self, text: str, line: int) -> None:
+        cls = self.current_class()
+        for cm in CALL_RE.finditer(text):
+            name = cm.group(1)
+            if name in CPP_KEYWORDS or name.startswith("MPL_"):
+                continue
+            self.fs.events.append(Event("call", line, self.depth, cls, name))
+
+    def function_name(self, text: str) -> tuple[str | None, str] | None:
+        """Extract (class-qualifier, name) of a function definition or
+        declaration from opener/statement text, or None."""
+        # Cut everything after the parameter list's opening paren candidates:
+        for m in re.finditer(r"(?:([A-Za-z_]\w*)\s*::\s*)?([A-Za-z_~]\w*)\s*\(", text):
+            name = m.group(2)
+            if name in CPP_KEYWORDS:
+                continue
+            prefix = text[: m.start()]
+            # Initializers (`int x = f(...)`) are not definitions.
+            if "=" in prefix.split("\n")[-1]:
+                return None
+            return (m.group(1), name)
+        return None
+
+    def record_contracts(self, text: str, cls: str | None, fname: str) -> None:
+        entry = self.fs.contracts.setdefault((cls, fname),
+                                             {"requires": [], "acquires": []})
+        for m in CONTRACT_RE.finditer(text):
+            kind, args = m.group(1), split_args(m.group(2))
+            if kind == "REQUIRES":
+                entry["requires"].extend(args)
+            elif kind in ("EXCLUDES", "ACQUIRE", "TRY_ACQUIRE"):
+                # EXCLUDES(m): the function takes m internally; ACQUIRE(m):
+                # it returns holding m. Either way a caller already holding
+                # a lock orders it before m.
+                entry["acquires"].extend(
+                    a for a in args if a not in ("true", "false"))
+
+
+# -- global resolution --------------------------------------------------------
+
+class Linter:
+    def __init__(self, hier: Hierarchy, max_escapes: int):
+        self.h = hier
+        self.max_escapes = max_escapes
+        self.issues: list[Issue] = []
+        self.scans: list[FileScan] = []
+        # Merged across files.
+        self.instances: dict[tuple[str | None, str], tuple[str, int, str]] = {}
+        self.contracts: dict[tuple[str | None, str], dict[str, list[str]]] = {}
+        # level -> level : (file, line, why)
+        self.edges: dict[tuple[int, int], tuple[str, int, str]] = {}
+        self.escape_count = 0
+
+    def issue(self, file: str, line: int, rule: str, msg: str) -> None:
+        self.issues.append(Issue(file, line, rule, msg))
+
+    # -- phase 1: parse every file -------------------------------------------
+
+    def scan_tree(self, root: Path, scan_dirs: list[str]) -> None:
+        files: list[Path] = []
+        for d in scan_dirs:
+            base = root / d
+            if not base.is_dir():
+                self.issue(str(base), 0, "config", "scan directory not found")
+                continue
+            files.extend(sorted(base.rglob("*.hpp")))
+            files.extend(sorted(base.rglob("*.cpp")))
+        for path in files:
+            rel = str(path.relative_to(root))
+            text = path.read_text()
+            stripped = strip_code(text)
+            if path.name not in PRIMITIVE_FILES:
+                for m in RAW_PRIMITIVE_RE.finditer(stripped):
+                    line = stripped.count("\n", 0, m.start()) + 1
+                    self.issue(rel, line, "raw-primitive",
+                               f"raw std::{m.group(1)} outside checked.hpp — "
+                               "use the CheckedMutex/CheckedLock/CheckedCondVar "
+                               "wrappers so all three checkers see it")
+                self.check_escapes(rel, text, stripped)
+                scan = Scanner(path, rel, set(self.h.aliases)).scan(stripped)
+                self.scans.append(scan)
+        # Merge declaration databases.
+        for fs in self.scans:
+            for key, (alias, line) in fs.instances.items():
+                self.instances[key] = (alias, line, fs.rel)
+            for key, entry in fs.contracts.items():
+                merged = self.contracts.setdefault(
+                    key, {"requires": [], "acquires": []})
+                for k in ("requires", "acquires"):
+                    for a in entry[k]:
+                        if a not in merged[k]:
+                            merged[k].append(a)
+
+    def check_escapes(self, rel: str, text: str, stripped: str) -> None:
+        lines = text.splitlines()
+        for m in NTSA_RE.finditer(stripped):
+            line = stripped.count("\n", 0, m.start()) + 1
+            self.escape_count += 1
+            has_comment = False
+            for ln in (line, line - 1):
+                if 1 <= ln <= len(lines) and re.search(r"//\s*\S", lines[ln - 1]):
+                    has_comment = True
+            if not has_comment:
+                self.issue(rel, line, "escape-justification",
+                           "MPL_NO_THREAD_SAFETY_ANALYSIS without a one-line "
+                           "justification comment on the same or previous line")
+
+    # -- phase 2: resolve annotations ----------------------------------------
+
+    def resolve_var(self, cls: str | None, var: str) -> int | None:
+        """Mutex variable -> hierarchy level, using class context first."""
+        hit = self.instances.get((cls, var))
+        if hit is None:
+            candidates = {v for (c, v2), v in
+                          ((k, self.instances[k]) for k in self.instances)
+                          if v2 == var}
+            if len(candidates) == 1:
+                hit = next(iter(candidates))
+        if hit is None:
+            return None
+        return self.h.level_of_alias(hit[0])
+
+    def callee_acquired_levels(self, name: str) -> set[int]:
+        out: set[int] = set()
+        for (cls, fname), entry in self.contracts.items():
+            if fname != name:
+                continue
+            for var in entry["acquires"]:
+                lvl = self.resolve_var(cls, base_var(var))
+                if lvl is not None:
+                    out.add(lvl)
+        return out
+
+    def add_edge(self, held: int, acquired: int, rel: str, line: int,
+                 why: str) -> None:
+        self.edges.setdefault((held, acquired), (rel, line, why))
+
+    def replay(self) -> None:
+        for fs in self.scans:
+            held: list[tuple[int, int]] = []  # (level, at_depth)
+            for ev in fs.events:
+                if ev.kind == "close":
+                    held = [h for h in held if h[1] <= ev.depth]
+                elif ev.kind == "func_enter":
+                    entry = self.contracts.get((ev.cls, ev.name))
+                    if entry:
+                        for var in entry["requires"]:
+                            lvl = self.resolve_var(ev.cls, base_var(var))
+                            if lvl is not None:
+                                held.append((lvl, ev.depth))
+                elif ev.kind == "lambda_req":
+                    for var in ev.args:
+                        lvl = self.resolve_var(ev.cls, base_var(var))
+                        if lvl is not None and lvl not in [h[0] for h in held]:
+                            held.append((lvl, ev.depth))
+                elif ev.kind == "acquire":
+                    lvl = self.resolve_var(ev.cls, ev.name)
+                    if lvl is None:
+                        continue
+                    for h, _ in held:
+                        self.add_edge(h, lvl, fs.rel, ev.line,
+                                      f"CheckedLock({ev.name}) nested under a "
+                                      "held lock")
+                    held.append((lvl, ev.depth))
+                elif ev.kind == "call":
+                    if not held:
+                        continue
+                    for lvl in self.callee_acquired_levels(ev.name):
+                        for h, _ in held:
+                            self.add_edge(h, lvl, fs.rel, ev.line,
+                                          f"call to {ev.name}() which acquires "
+                                          "a lock, while a lock is held")
+                elif ev.kind == "cvwait":
+                    if len({h[0] for h in held}) != 1:
+                        self.issue(fs.rel, ev.line, "condvar-wait",
+                                   f"cv_.wait while holding "
+                                   f"{len(set(h[0] for h in held))} tracked "
+                                   "locks — waits must hold exactly the "
+                                   "condvar's mutex (lost-wakeup hazard)")
+            # Validate GUARDED_BY arguments.
+            for line, cls, var in fs.guards:
+                if self.resolve_var(cls, var) is None:
+                    self.issue(fs.rel, line, "guard-unknown-mutex",
+                               f"MPL_GUARDED_BY({var}) names no known mutex "
+                               f"member of class {cls or '<file scope>'}")
+
+    # -- phase 3: hierarchy + graph checks -----------------------------------
+
+    def check_hierarchy(self, checked_rel: str) -> None:
+        h = self.h
+        seen_vals: dict[int, str] = {}
+        for name, val in h.levels.items():
+            if val in seen_vals:
+                self.issue(checked_rel, 0, "hierarchy-duplicate-level",
+                           f"levels {seen_vals[val]} and {name} share value {val}")
+            seen_vals[val] = name
+        for name in h.levels:
+            disp = h.names.get(name)
+            if disp is None:
+                self.issue(checked_rel, 0, "hierarchy-name-missing",
+                           f"LockTracker::name() has no case for level {name}")
+            elif disp != name:
+                self.issue(checked_rel, 0, "hierarchy-name-mismatch",
+                           f"LockTracker::name() returns \"{disp}\" for level "
+                           f"{name} — strings must match the enum")
+        by_level: dict[str, list[str]] = {}
+        for alias, lvl in h.aliases.items():
+            if lvl not in h.levels:
+                self.issue(checked_rel, 0, "alias-unknown-level",
+                           f"alias {alias} names unknown level {lvl}")
+            by_level.setdefault(lvl, []).append(alias)
+        for lvl in h.levels:
+            aliases = by_level.get(lvl, [])
+            if len(aliases) != 1:
+                self.issue(checked_rel, 0, "alias-bijection",
+                           f"level {lvl} has {len(aliases)} mutex aliases "
+                           f"({', '.join(aliases) or 'none'}); expected exactly one")
+
+    def check_graph(self) -> None:
+        for (a, b), (rel, line, why) in sorted(self.edges.items()):
+            if a >= b:
+                self.issue(rel, line, "lock-order",
+                           f"acquisition edge {self.h.level_name(a)}({a}) -> "
+                           f"{self.h.level_name(b)}({b}) is not strictly "
+                           f"increasing: {why}")
+        # Explicit cycle detection (also catches multi-edge cycles whose
+        # individual edges might each look locally plausible).
+        adj: dict[int, set[int]] = {}
+        for (a, b) in self.edges:
+            adj.setdefault(a, set()).add(b)
+        color: dict[int, int] = {}
+        stack: list[int] = []
+
+        def dfs(u: int) -> list[int] | None:
+            color[u] = 1
+            stack.append(u)
+            for v in sorted(adj.get(u, ())):
+                if color.get(v, 0) == 1:
+                    return stack[stack.index(v):] + [v]
+                if color.get(v, 0) == 0:
+                    cyc = dfs(v)
+                    if cyc:
+                        return cyc
+            stack.pop()
+            color[u] = 2
+            return None
+
+        for u in sorted(adj):
+            if color.get(u, 0) == 0:
+                cyc = dfs(u)
+                if cyc:
+                    path = " -> ".join(
+                        f"{self.h.level_name(x)}({x})" for x in cyc)
+                    first = self.edges[(cyc[0], cyc[1])]
+                    self.issue(first[0], first[1], "lock-cycle",
+                               f"acquisition-order cycle: {path}")
+                    break
+
+    def check_escape_cap(self) -> None:
+        if self.escape_count > self.max_escapes:
+            self.issue("<tree>", 0, "escape-cap",
+                       f"{self.escape_count} uses of "
+                       "MPL_NO_THREAD_SAFETY_ANALYSIS exceed the cap of "
+                       f"{self.max_escapes} — fix the annotations instead")
+
+    # -- phase 4: DESIGN.md cross-check --------------------------------------
+
+    def check_design(self, design: Path, root: Path) -> None:
+        if not design.is_file():
+            self.issue(str(design), 0, "design-missing",
+                       "design document with the lock-level table not found")
+            return
+        rel = str(design.relative_to(root)) if design.is_relative_to(root) else str(design)
+        rows: dict[int, tuple[str, str]] = {}
+        for i, line in enumerate(design.read_text().splitlines(), 1):
+            m = re.match(r"\|\s*(\d+)\s*\|\s*`?([A-Za-z_]\w*)`?\s*\|\s*`?"
+                         r"(?:(?:mpl::)?detail::)?([A-Za-z_]\w*)`?\s*\|", line)
+            if m:
+                rows[int(m.group(1))] = (m.group(2), m.group(3))
+        if not rows:
+            self.issue(rel, 0, "design-table",
+                       "no lock-level table rows found (| <level> | <name> | "
+                       "<mutex alias> | ...)")
+            return
+        alias_of = {self.h.levels[lvl]: alias
+                    for alias, lvl in self.h.aliases.items()
+                    if lvl in self.h.levels}
+        for name, val in sorted(self.h.levels.items(), key=lambda kv: kv[1]):
+            row = rows.get(val)
+            if row is None:
+                self.issue(rel, 0, "design-drift",
+                           f"level {val} ({name}) missing from the design table")
+                continue
+            if row[0] != name:
+                self.issue(rel, 0, "design-drift",
+                           f"design table names level {val} '{row[0]}' but the "
+                           f"enum says '{name}'")
+            expect_alias = alias_of.get(val)
+            if expect_alias and row[1] != expect_alias:
+                self.issue(rel, 0, "design-drift",
+                           f"design table lists mutex '{row[1]}' for level "
+                           f"{val} but checked.hpp declares {expect_alias}")
+        for val in rows:
+            if val not in self.h.levels.values():
+                self.issue(rel, 0, "design-drift",
+                           f"design table lists level {val} which does not "
+                           "exist in the LockLevel enum")
+
+
+def parse_hierarchy(checked: Path) -> Hierarchy:
+    text = strip_code(checked.read_text())
+    raw = checked.read_text()
+    h = Hierarchy()
+    em = ENUM_RE.search(text)
+    if not em:
+        raise ValueError(f"{checked}: LockLevel enum not found")
+    for name, val in ENUM_VAL_RE.findall(em.group(1)):
+        h.levels[name] = int(val)
+    for name, disp in NAME_CASE_RE.findall(raw):
+        h.names[name] = disp
+    for alias, lvl in ALIAS_RE.findall(text):
+        h.aliases[alias] = lvl
+    if not h.aliases:
+        raise ValueError(f"{checked}: no CheckedMutex using-aliases found")
+    return h
+
+
+def main(argv: list[str]) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--root", type=Path,
+                    default=Path(__file__).resolve().parent.parent,
+                    help="repository root (default: parent of tools/)")
+    ap.add_argument("--checked", type=Path, default=None,
+                    help="path to checked.hpp (default: <root>/src/mpl/checked.hpp)")
+    ap.add_argument("--scan", action="append", default=None,
+                    help="directory (relative to root) to scan; repeatable "
+                         "(default: src/mpl)")
+    ap.add_argument("--design", type=Path, default=None,
+                    help="design document to cross-check (default: <root>/DESIGN.md)")
+    ap.add_argument("--no-design", action="store_true",
+                    help="skip the design-table cross-check")
+    ap.add_argument("--max-escapes", type=int, default=2,
+                    help="cap on MPL_NO_THREAD_SAFETY_ANALYSIS uses (default 2)")
+    ap.add_argument("-q", "--quiet", action="store_true")
+    args = ap.parse_args(argv)
+
+    root = args.root.resolve()
+    checked = (args.checked or root / "src" / "mpl" / "checked.hpp").resolve()
+    if not checked.is_file():
+        print(f"lint_locks: checked.hpp not found at {checked}", file=sys.stderr)
+        return 2
+    try:
+        hier = parse_hierarchy(checked)
+    except ValueError as e:
+        print(f"lint_locks: {e}", file=sys.stderr)
+        return 2
+
+    lint = Linter(hier, args.max_escapes)
+    lint.check_hierarchy(str(checked.relative_to(root))
+                         if checked.is_relative_to(root) else str(checked))
+    lint.scan_tree(root, args.scan or ["src/mpl"])
+    lint.replay()
+    lint.check_graph()
+    lint.check_escape_cap()
+    if not args.no_design:
+        lint.check_design((args.design or root / "DESIGN.md").resolve(), root)
+
+    for issue in lint.issues:
+        print(issue)
+    if not args.quiet:
+        nlvl = len(hier.levels)
+        print(f"lint_locks: {nlvl} levels, {len(lint.instances)} mutex "
+              f"instances, {len(lint.edges)} acquisition edges, "
+              f"{lint.escape_count} escape hatches, "
+              f"{len(lint.issues)} issue(s)")
+    return 1 if lint.issues else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,332 @@
+#!/usr/bin/env python3
+"""Unit tests for tools/lint_locks.py.
+
+Each test builds a miniature repository tree in a temp directory — a small
+checked.hpp with a two-level hierarchy plus one source file exhibiting the
+property under test — and asserts on the lint's exit status and report
+text. The deliberately-cyclic fixture is the safety net the real tree
+cannot provide: the repository itself is (and must stay) clean, so without
+these fixtures a lint that silently detected nothing would look identical
+to a lint that proved the graph acyclic.
+
+Run directly (`python3 tools/test_lint_locks.py`) or via ctest.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+import tempfile
+import unittest
+from pathlib import Path
+
+LINT = Path(__file__).resolve().parent / "lint_locks.py"
+
+MINI_CHECKED = """
+#pragma once
+#include "mpl/annotations.hpp"
+namespace mpl::detail {
+
+enum class LockLevel : int {
+  alpha = 1,
+  beta = 2,
+};
+
+class LockTracker {
+ public:
+  static const char* name(LockLevel level) {
+    switch (level) {
+      case LockLevel::alpha: return "alpha";
+      case LockLevel::beta: return "beta";
+    }
+    return "?";
+  }
+};
+
+template <LockLevel Level>
+class CheckedMutex {};
+
+template <typename Mutex>
+class CheckedLock {};
+
+using AlphaMutex = CheckedMutex<LockLevel::alpha>;
+using BetaMutex = CheckedMutex<LockLevel::beta>;
+
+}  // namespace mpl::detail
+"""
+
+GOOD_SOURCE = """
+#pragma once
+#include "mpl/checked.hpp"
+namespace mpl {
+
+class Widget {
+ public:
+  void poke() MPL_EXCLUDES(low_) {
+    detail::CheckedLock lock(low_);
+    ++count_;
+  }
+  void poke_both() MPL_EXCLUDES(low_) {
+    detail::CheckedLock l1(low_);
+    detail::CheckedLock l2(high_);  // alpha -> beta: increasing, legal
+    ++count_;
+  }
+
+ private:
+  detail::AlphaMutex low_;
+  detail::BetaMutex high_;
+  int count_ MPL_GUARDED_BY(low_) = 0;
+};
+
+}  // namespace mpl
+"""
+
+CYCLIC_SOURCE = """
+#pragma once
+#include "mpl/checked.hpp"
+namespace mpl {
+
+class Tangle {
+ public:
+  void forward() {
+    detail::CheckedLock l1(low_);
+    detail::CheckedLock l2(high_);  // alpha -> beta
+  }
+  void backward() {
+    detail::CheckedLock l1(high_);
+    detail::CheckedLock l2(low_);   // beta -> alpha: closes the cycle
+  }
+
+ private:
+  detail::AlphaMutex low_;
+  detail::BetaMutex high_;
+};
+
+}  // namespace mpl
+"""
+
+CALL_EDGE_SOURCE = """
+#pragma once
+#include "mpl/checked.hpp"
+namespace mpl {
+
+class Caller {
+ public:
+  void takes_low() MPL_EXCLUDES(low_) {
+    detail::CheckedLock lock(low_);
+  }
+  void bad() {
+    detail::CheckedLock lock(high_);
+    takes_low();  // beta held, callee acquires alpha: decreasing edge
+  }
+
+ private:
+  detail::AlphaMutex low_;
+  detail::BetaMutex high_;
+};
+
+}  // namespace mpl
+"""
+
+BAD_GUARD_SOURCE = """
+#pragma once
+#include "mpl/checked.hpp"
+namespace mpl {
+
+class Typo {
+ private:
+  detail::AlphaMutex low_;
+  int count_ MPL_GUARDED_BY(lwo_) = 0;  // misspelt mutex name
+};
+
+}  // namespace mpl
+"""
+
+RAW_MUTEX_SOURCE = """
+#pragma once
+#include <mutex>
+namespace mpl {
+class Sneaky {
+ private:
+  std::mutex raw_;
+};
+}  // namespace mpl
+"""
+
+ESCAPE_SOURCE = """
+#pragma once
+#include "mpl/checked.hpp"
+namespace mpl {
+class Escapee {
+ public:
+  void unchecked() MPL_NO_THREAD_SAFETY_ANALYSIS {}
+};
+}  // namespace mpl
+"""
+
+CONDVAR_SOURCE = """
+#pragma once
+#include "mpl/checked.hpp"
+namespace mpl {
+
+class Waiter {
+ public:
+  void bad_wait() {
+    detail::CheckedLock l1(low_);
+    detail::CheckedLock l2(high_);
+    cv_.wait(l2);  // two locks held across the sleep
+  }
+
+ private:
+  detail::AlphaMutex low_;
+  detail::BetaMutex high_;
+  detail::CheckedCondVar cv_;
+};
+
+}  // namespace mpl
+"""
+
+DRIFTED_DESIGN = """
+# Locks
+
+| Level | Name | Mutex | Guards |
+|---|---|---|---|
+| 1 | alpha | AlphaMutex | stuff |
+| 2 | gamma | BetaMutex | other stuff |
+"""
+
+GOOD_DESIGN = """
+# Locks
+
+| Level | Name | Mutex | Guards |
+|---|---|---|---|
+| 1 | alpha | AlphaMutex | stuff |
+| 2 | beta | BetaMutex | other stuff |
+"""
+
+
+def run_lint(tree: dict[str, str], *extra: str) -> subprocess.CompletedProcess:
+    tmp = tempfile.TemporaryDirectory()
+    root = Path(tmp.name)
+    for rel, content in tree.items():
+        p = root / rel
+        p.parent.mkdir(parents=True, exist_ok=True)
+        p.write_text(content)
+    args = [sys.executable, str(LINT), "--root", str(root)]
+    if not any(a == "--design" for a in extra):
+        args.append("--no-design")
+    args.extend(str(root / a) if prev == "--design" else a
+                for prev, a in zip(("",) + extra, extra))
+    proc = subprocess.run(args, capture_output=True, text=True)
+    proc.tmp = tmp  # keep the tree alive until the caller is done
+    return proc
+
+
+class LintLocksTest(unittest.TestCase):
+    def test_clean_tree_passes(self):
+        r = run_lint({"src/mpl/checked.hpp": MINI_CHECKED,
+                      "src/mpl/widget.hpp": GOOD_SOURCE})
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+        self.assertIn("2 mutex instances", r.stdout)
+        # The legal alpha -> beta nesting must be seen, not skipped.
+        self.assertIn("1 acquisition edges", r.stdout)
+
+    def test_cycle_detected_with_level_names(self):
+        r = run_lint({"src/mpl/checked.hpp": MINI_CHECKED,
+                      "src/mpl/tangle.hpp": CYCLIC_SOURCE})
+        self.assertEqual(r.returncode, 1, r.stdout + r.stderr)
+        self.assertIn("lock-cycle", r.stdout)
+        self.assertIn("alpha", r.stdout)
+        self.assertIn("beta", r.stdout)
+        # The decreasing half of the cycle is also reported on its own.
+        self.assertIn("lock-order", r.stdout)
+        self.assertIn("not strictly increasing", r.stdout)
+
+    def test_call_edge_detected(self):
+        r = run_lint({"src/mpl/checked.hpp": MINI_CHECKED,
+                      "src/mpl/caller.hpp": CALL_EDGE_SOURCE})
+        self.assertEqual(r.returncode, 1, r.stdout + r.stderr)
+        self.assertIn("lock-order", r.stdout)
+        self.assertIn("takes_low", r.stdout)
+        self.assertIn("beta(2) -> alpha(1)", r.stdout)
+
+    def test_unknown_guard_mutex(self):
+        r = run_lint({"src/mpl/checked.hpp": MINI_CHECKED,
+                      "src/mpl/typo.hpp": BAD_GUARD_SOURCE})
+        self.assertEqual(r.returncode, 1, r.stdout + r.stderr)
+        self.assertIn("guard-unknown-mutex", r.stdout)
+        self.assertIn("lwo_", r.stdout)
+
+    def test_raw_primitive_banned(self):
+        r = run_lint({"src/mpl/checked.hpp": MINI_CHECKED,
+                      "src/mpl/sneaky.hpp": RAW_MUTEX_SOURCE})
+        self.assertEqual(r.returncode, 1, r.stdout + r.stderr)
+        self.assertIn("raw-primitive", r.stdout)
+
+    def test_escape_needs_justification(self):
+        r = run_lint({"src/mpl/checked.hpp": MINI_CHECKED,
+                      "src/mpl/escape.hpp": ESCAPE_SOURCE})
+        self.assertEqual(r.returncode, 1, r.stdout + r.stderr)
+        self.assertIn("escape-justification", r.stdout)
+
+    def test_justified_escape_allowed_up_to_cap(self):
+        src = ESCAPE_SOURCE.replace(
+            "MPL_NO_THREAD_SAFETY_ANALYSIS {}",
+            "MPL_NO_THREAD_SAFETY_ANALYSIS {}  // justified: test fixture")
+        r = run_lint({"src/mpl/checked.hpp": MINI_CHECKED,
+                      "src/mpl/escape.hpp": src})
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+        r = run_lint({"src/mpl/checked.hpp": MINI_CHECKED,
+                      "src/mpl/escape.hpp": src}, "--max-escapes", "0")
+        self.assertEqual(r.returncode, 1, r.stdout + r.stderr)
+        self.assertIn("escape-cap", r.stdout)
+
+    def test_condvar_wait_with_two_locks(self):
+        r = run_lint({"src/mpl/checked.hpp": MINI_CHECKED,
+                      "src/mpl/waiter.hpp": CONDVAR_SOURCE})
+        self.assertEqual(r.returncode, 1, r.stdout + r.stderr)
+        self.assertIn("condvar-wait", r.stdout)
+
+    def test_hierarchy_name_mismatch(self):
+        broken = MINI_CHECKED.replace('case LockLevel::beta: return "beta";',
+                                      'case LockLevel::beta: return "brta";')
+        r = run_lint({"src/mpl/checked.hpp": broken,
+                      "src/mpl/widget.hpp": GOOD_SOURCE})
+        self.assertEqual(r.returncode, 1, r.stdout + r.stderr)
+        self.assertIn("hierarchy-name-mismatch", r.stdout)
+
+    def test_alias_bijection(self):
+        broken = MINI_CHECKED.replace(
+            "using BetaMutex = CheckedMutex<LockLevel::beta>;",
+            "using BetaMutex = CheckedMutex<LockLevel::alpha>;")
+        r = run_lint({"src/mpl/checked.hpp": broken,
+                      "src/mpl/widget.hpp": GOOD_SOURCE})
+        self.assertEqual(r.returncode, 1, r.stdout + r.stderr)
+        self.assertIn("alias-bijection", r.stdout)
+
+    def test_design_drift_detected(self):
+        r = run_lint({"src/mpl/checked.hpp": MINI_CHECKED,
+                      "src/mpl/widget.hpp": GOOD_SOURCE,
+                      "DESIGN.md": DRIFTED_DESIGN},
+                     "--design", "DESIGN.md")
+        self.assertEqual(r.returncode, 1, r.stdout + r.stderr)
+        self.assertIn("design-drift", r.stdout)
+        self.assertIn("gamma", r.stdout)
+
+    def test_design_in_sync_passes(self):
+        r = run_lint({"src/mpl/checked.hpp": MINI_CHECKED,
+                      "src/mpl/widget.hpp": GOOD_SOURCE,
+                      "DESIGN.md": GOOD_DESIGN},
+                     "--design", "DESIGN.md")
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+
+    def test_real_tree_is_clean(self):
+        repo = Path(__file__).resolve().parent.parent
+        r = subprocess.run(
+            [sys.executable, str(LINT), "--root", str(repo)],
+            capture_output=True, text=True)
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+
+
+if __name__ == "__main__":
+    unittest.main()
