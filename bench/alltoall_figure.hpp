@@ -67,50 +67,49 @@ inline void run_case(const FigureConfig& cfg, int d, int n, bool trace_case) {
           auto time = [&](auto&& op) {
             return harness::time_collective(world, cfg.reps, op);
           };
-          const double base = filtered_mean(
-              time([&] {
-                mpl::neighbor_alltoall(sb.data(), m, kInt, rb.data(), m, kInt,
-                                       g, cfg.baseline_mode);
-              }),
-              cfg.titan_filter);
+          // Keep the raw repetition samples alongside each filtered mean so
+          // bench_record can attach min/median/stddev dispersion columns.
+          const std::vector<double> base_s = time([&] {
+            mpl::neighbor_alltoall(sb.data(), m, kInt, rb.data(), m, kInt, g,
+                                   cfg.baseline_mode);
+          });
+          const double base = filtered_mean(base_s, cfg.titan_filter);
+          std::vector<double> inb_s, direct_s, triv_s;
           double inb = 0.0, direct = 0.0, triv = 0.0;
           if (cfg.all_variants) {
             // The paper found the blocking and non-blocking library
             // collectives equally affected (Intel MPI exactly on par); the
             // pathology model therefore applies to both.
-            inb = cfg.baseline_mode == mpl::NeighborAlgorithm::direct
-                      ? filtered_mean(time([&] {
-                                        mpl::ineighbor_alltoall(sb.data(), m,
-                                                                kInt, rb.data(),
-                                                                m, kInt, g)
-                                            .wait();
-                                      }),
-                                      cfg.titan_filter)
-                      : filtered_mean(time([&] {
-                                        mpl::neighbor_alltoall(
-                                            sb.data(), m, kInt, rb.data(), m,
-                                            kInt, g, cfg.baseline_mode);
-                                      }),
-                                      cfg.titan_filter);
+            inb_s = cfg.baseline_mode == mpl::NeighborAlgorithm::direct
+                        ? time([&] {
+                            mpl::ineighbor_alltoall(sb.data(), m, kInt,
+                                                    rb.data(), m, kInt, g)
+                                .wait();
+                          })
+                        : time([&] {
+                            mpl::neighbor_alltoall(sb.data(), m, kInt,
+                                                   rb.data(), m, kInt, g,
+                                                   cfg.baseline_mode);
+                          });
+            inb = filtered_mean(inb_s, cfg.titan_filter);
             // Reference: what a good (direct-delivery) library achieves.
-            direct = filtered_mean(time([&] {
-                                     mpl::neighbor_alltoall(
-                                         sb.data(), m, kInt, rb.data(), m,
-                                         kInt, g, mpl::NeighborAlgorithm::direct);
-                                   }),
-                                   cfg.titan_filter);
-            triv = filtered_mean(
-                time([&] {
-                  cartcomm::alltoall(sb.data(), m, kInt, rb.data(), m, kInt,
-                                     cc, cartcomm::Algorithm::trivial);
-                }),
-                cfg.titan_filter);
+            direct_s = time([&] {
+              mpl::neighbor_alltoall(sb.data(), m, kInt, rb.data(), m, kInt,
+                                     g, mpl::NeighborAlgorithm::direct);
+            });
+            direct = filtered_mean(direct_s, cfg.titan_filter);
+            triv_s = time([&] {
+              cartcomm::alltoall(sb.data(), m, kInt, rb.data(), m, kInt, cc,
+                                 cartcomm::Algorithm::trivial);
+            });
+            triv = filtered_mean(triv_s, cfg.titan_filter);
           }
           auto comb_op = cartcomm::alltoall_init(
               sb.data(), m, kInt, rb.data(), m, kInt, cc,
               cartcomm::Algorithm::combining);
-          const double comb =
-              filtered_mean(time([&] { comb_op.execute(); }), cfg.titan_filter);
+          const std::vector<double> comb_s =
+              time([&] { comb_op.execute(); });
+          const double comb = filtered_mean(comb_s, cfg.titan_filter);
 
           if (trace_case && cfg.opts.tracing()) {
             // One traced execution per block size, each its own section.
@@ -121,17 +120,18 @@ inline void run_case(const FigureConfig& cfg, int d, int n, bool trace_case) {
             harness::trace_section(world, label, [&] { comb_op.execute(); });
           }
 
-          harness::bench_record(world, cfg.bench_id, d, n, m, "neighbor", base);
+          harness::bench_record(world, cfg.bench_id, d, n, m, "neighbor", base,
+                                base_s);
           if (cfg.all_variants) {
             harness::bench_record(world, cfg.bench_id, d, n, m, "ineighbor",
-                                  inb);
+                                  inb, inb_s);
             harness::bench_record(world, cfg.bench_id, d, n, m, "direct",
-                                  direct);
+                                  direct, direct_s);
             harness::bench_record(world, cfg.bench_id, d, n, m, "trivial",
-                                  triv);
+                                  triv, triv_s);
           }
           harness::bench_record(world, cfg.bench_id, d, n, m, "combining",
-                                comb);
+                                comb, comb_s);
 
           if (world.rank() == 0) {
             if (cfg.all_variants) {

@@ -33,27 +33,31 @@ int main(int argc, char** argv) {
         for (const int m : {1, 10, 100}) {
           std::vector<int> sb(static_cast<std::size_t>(m), world.rank());
           std::vector<int> rb(static_cast<std::size_t>(t) * m);
-          auto mean = [&](auto&& op) {
-            return harness::stats(
-                       harness::lower_half(harness::time_collective(world, 5, op)))
-                .mean;
+          // Samples kept so bench_record attaches dispersion columns.
+          auto time = [&](auto&& op) {
+            return harness::time_collective(world, 5, op);
           };
-          const double base = mean([&] {
+          auto mean = [&](const std::vector<double>& xs) {
+            return harness::stats(harness::lower_half(xs)).mean;
+          };
+          const std::vector<double> base_s = time([&] {
             mpl::neighbor_allgather(sb.data(), m, kInt, rb.data(), m, kInt, g,
                                     mpl::NeighborAlgorithm::serialized_rendezvous);
           });
-          const double inb = mean([&] {
+          const std::vector<double> inb_s = time([&] {
             mpl::ineighbor_allgather(sb.data(), m, kInt, rb.data(), m, kInt, g)
                 .wait();
           });
-          const double triv = mean([&] {
+          const std::vector<double> triv_s = time([&] {
             cartcomm::allgather(sb.data(), m, kInt, rb.data(), m, kInt, cc,
                                 cartcomm::Algorithm::trivial);
           });
           auto comb_op = cartcomm::allgather_init(sb.data(), m, kInt, rb.data(),
                                                   m, kInt, cc,
                                                   cartcomm::Algorithm::combining);
-          const double comb = mean([&] { comb_op.execute(); });
+          const std::vector<double> comb_s = time([&] { comb_op.execute(); });
+          const double base = mean(base_s), inb = mean(inb_s),
+                       triv = mean(triv_s), comb = mean(comb_s);
           if (bopts.tracing()) {
             char label[64];
             std::snprintf(label, sizeof(label),
@@ -61,13 +65,13 @@ int main(int argc, char** argv) {
             harness::trace_section(world, label, [&] { comb_op.execute(); });
           }
           harness::bench_record(world, "fig6_allgather", d, n, m, "neighbor",
-                                base);
+                                base, base_s);
           harness::bench_record(world, "fig6_allgather", d, n, m, "ineighbor",
-                                inb);
+                                inb, inb_s);
           harness::bench_record(world, "fig6_allgather", d, n, m, "trivial",
-                                triv);
+                                triv, triv_s);
           harness::bench_record(world, "fig6_allgather", d, n, m, "combining",
-                                comb);
+                                comb, comb_s);
           if (world.rank() == 0) {
             std::printf(
                 "m=%3d | neighbor %9.4f ms (1.00) | ineighbor %9.4f ms (%5.2f) "

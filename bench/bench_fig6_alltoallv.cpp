@@ -43,24 +43,28 @@ int main(int argc, char** argv) {
           // torus, so counts align one to one.
           std::vector<int> sb(static_cast<std::size_t>(total), world.rank());
           std::vector<int> rb(static_cast<std::size_t>(total));
-          auto mean = [&](auto&& op) {
-            return harness::stats(harness::smallest_third(
-                       harness::time_collective(world, 6, op)))
-                .mean;
+          // Samples kept so bench_record attaches dispersion columns.
+          auto time = [&](auto&& op) {
+            return harness::time_collective(world, 6, op);
           };
-          const double base = mean([&] {
+          auto mean = [&](const std::vector<double>& xs) {
+            return harness::stats(harness::smallest_third(xs)).mean;
+          };
+          const std::vector<double> base_s = time([&] {
             mpl::neighbor_alltoallv(sb.data(), counts, displs, kInt, rb.data(),
                                     counts, displs, kInt, g);
           });
           auto comb_op = cartcomm::alltoallv_init(
               sb.data(), counts, displs, kInt, rb.data(), counts, displs, kInt,
               cc, cartcomm::Algorithm::combining);
-          const double comb = mean([&] { comb_op.execute(); });
-          const double triv = mean([&] {
+          const std::vector<double> comb_s = time([&] { comb_op.execute(); });
+          const std::vector<double> triv_s = time([&] {
             cartcomm::alltoallv(sb.data(), counts, displs, kInt, rb.data(),
                                 counts, displs, kInt, cc,
                                 cartcomm::Algorithm::trivial);
           });
+          const double base = mean(base_s), comb = mean(comb_s),
+                       triv = mean(triv_s);
           if (bopts.tracing()) {
             char label[64];
             std::snprintf(label, sizeof(label),
@@ -68,11 +72,11 @@ int main(int argc, char** argv) {
             harness::trace_section(world, label, [&] { comb_op.execute(); });
           }
           harness::bench_record(world, "fig6_alltoallv", d, n, m, "neighbor",
-                                base);
+                                base, base_s);
           harness::bench_record(world, "fig6_alltoallv", d, n, m, "trivial",
-                                triv);
+                                triv, triv_s);
           harness::bench_record(world, "fig6_alltoallv", d, n, m, "combining",
-                                comb);
+                                comb, comb_s);
           if (world.rank() == 0) {
             std::printf(
                 "m=%3d | neighbor_alltoallv %9.4f ms (1.00) | trivial %9.4f ms "

@@ -16,7 +16,9 @@
 //
 // Emits BENCH_transport.json ({"kind": "bench-transport"}) for
 // tools/bench_to_csv.py and the CI transport-bench smoke job.
+#include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -35,13 +37,34 @@ struct Result {
   int p = 0;
   long long messages = 0;
   long long bytes = 0;
-  double seconds = 0.0;
+  double seconds = 0.0;  ///< best-of-reps (headline, matches `min`)
+  double min = 0.0;      ///< fastest repetition
+  double median = 0.0;   ///< median repetition
+  double stddev = 0.0;   ///< sample stddev across repetitions
 
   [[nodiscard]] double msgs_per_sec() const {
     return seconds > 0.0 ? static_cast<double>(messages) / seconds : 0.0;
   }
   [[nodiscard]] double mb_per_sec() const {
     return seconds > 0.0 ? static_cast<double>(bytes) / seconds / 1e6 : 0.0;
+  }
+
+  /// Fill seconds/min/median/stddev from the per-repetition samples.
+  void set_samples(std::vector<double> xs) {
+    if (xs.empty()) return;
+    std::sort(xs.begin(), xs.end());
+    min = xs.front();
+    seconds = min;
+    const std::size_t k = xs.size();
+    median = (k % 2) ? xs[k / 2] : 0.5 * (xs[k / 2 - 1] + xs[k / 2]);
+    if (k > 1) {
+      double mean = 0.0;
+      for (double x : xs) mean += x;
+      mean /= static_cast<double>(k);
+      double var = 0.0;
+      for (double x : xs) var += (x - mean) * (x - mean);
+      stddev = std::sqrt(var / static_cast<double>(k - 1));
+    }
   }
 };
 
@@ -63,11 +86,13 @@ double timed_region(const mpl::Comm& world, F&& body) {
 
 // -- ping-pong ----------------------------------------------------------------
 
-Result run_pingpong(int p, int iters, int reps) {
-  Result res{"pingpong", p, 2LL * iters * (p / 2),
-             2LL * iters * (p / 2) * 16 * static_cast<long long>(sizeof(int)),
-             0.0};
-  double best = 0.0;
+Result run_pingpong(int p, int iters, int reps, const mpl::RunOptions& opts) {
+  Result res;
+  res.workload = "pingpong";
+  res.p = p;
+  res.messages = 2LL * iters * (p / 2);
+  res.bytes = res.messages * 16 * static_cast<long long>(sizeof(int));
+  std::vector<double> samples;
   mpl::run(p, [&](mpl::Comm& world) {
     std::vector<int> out(16, world.rank()), in(16, -1);
     const int half = world.size() / 2;
@@ -87,16 +112,16 @@ Result run_pingpong(int p, int iters, int reps) {
           }
         }
       });
-      if (world.rank() == 0 && rep >= 0 && (best == 0.0 || t < best)) best = t;
+      if (world.rank() == 0 && rep >= 0) samples.push_back(t);
     }
-  });
-  res.seconds = best;
+  }, opts);
+  res.set_samples(std::move(samples));
   return res;
 }
 
 // -- fan-in -------------------------------------------------------------------
 
-Result run_fanin(int p, int iters, int reps) {
+Result run_fanin(int p, int iters, int reps, const mpl::RunOptions& opts) {
   // Credit-based flow control, as in OSU's message-rate benchmark: each
   // sender puts at most kWindow messages in flight before waiting for an
   // ack from the root. Without it the eager transport lets p-1 unthrottled
@@ -104,11 +129,12 @@ Result run_fanin(int p, int iters, int reps) {
   // degenerates into measuring memory-subsystem thrash on the megabytes of
   // queued state instead of per-message transport cost.
   constexpr int kWindow = 64;
-  Result res{"fanin", p, static_cast<long long>(iters) * (p - 1),
-             static_cast<long long>(iters) * (p - 1) * 16 *
-                 static_cast<long long>(sizeof(int)),
-             0.0};
-  double best = 0.0;
+  Result res;
+  res.workload = "fanin";
+  res.p = p;
+  res.messages = static_cast<long long>(iters) * (p - 1);
+  res.bytes = res.messages * 16 * static_cast<long long>(sizeof(int));
+  std::vector<double> samples;
   mpl::run(p, [&](mpl::Comm& world) {
     std::vector<int> buf(16, world.rank());
     const long long total = static_cast<long long>(iters) * (world.size() - 1);
@@ -134,22 +160,24 @@ Result run_fanin(int p, int iters, int reps) {
           }
         }
       });
-      if (world.rank() == 0 && rep >= 0 && (best == 0.0 || t < best)) best = t;
+      if (world.rank() == 0 && rep >= 0) samples.push_back(t);
     }
-  });
-  res.seconds = best;
+  }, opts);
+  res.set_samples(std::move(samples));
   return res;
 }
 
 // -- 2D 5-point persistent schedule -------------------------------------------
 
-Result run_halo2d(int p, int iters, int reps) {
+Result run_halo2d(int p, int iters, int reps, const mpl::RunOptions& opts) {
   int side = 1;
   while ((side + 1) * (side + 1) <= p) ++side;
   const int grid_p = side * side;
-  Result res{"halo2d", grid_p, 0, 0, 0.0};
+  Result res;
+  res.workload = "halo2d";
+  res.p = grid_p;
   long long msgs = 0, bytes = 0;
-  double best = 0.0;
+  std::vector<double> samples;
   mpl::run(grid_p, [&](mpl::Comm& world) {
     const std::vector<int> dims{side, side};
     const auto nb = cartcomm::Neighborhood::von_neumann(2, false);
@@ -164,9 +192,7 @@ Result run_halo2d(int p, int iters, int reps) {
       const double tsec = timed_region(world, [&] {
         for (int i = 0; i < iters; ++i) op.execute();
       });
-      if (world.rank() == 0 && rep >= 0 && (best == 0.0 || tsec < best)) {
-        best = tsec;
-      }
+      if (world.rank() == 0 && rep >= 0) samples.push_back(tsec);
     }
     if (world.rank() == 0) {
       // Every rank sends t blocks of m ints per execution (coalesced
@@ -175,32 +201,36 @@ Result run_halo2d(int p, int iters, int reps) {
       msgs = static_cast<long long>(grid_p) * t * iters;
       bytes = msgs * m * static_cast<long long>(sizeof(int));
     }
-  });
+  }, opts);
   res.messages = msgs;
   res.bytes = bytes;
-  res.seconds = best;
+  res.set_samples(std::move(samples));
   return res;
 }
 
 // -- driver -------------------------------------------------------------------
 
-bool write_json(const std::string& path, const std::vector<Result>& results) {
+bool write_json(const std::string& path, const std::vector<Result>& results,
+                bool telemetry) {
   if (path.empty()) return true;
   std::ofstream os(path);
   if (!os) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
     return false;
   }
-  os << "{\n  \"kind\": \"bench-transport\",\n  \"results\": [";
+  os << "{\n  \"kind\": \"bench-transport\",\n  \"telemetry\": "
+     << (telemetry ? "true" : "false") << ",\n  \"results\": [";
   for (std::size_t i = 0; i < results.size(); ++i) {
     const Result& r = results[i];
-    char line[256];
+    char line[384];
     std::snprintf(line, sizeof(line),
                   "%s\n    {\"workload\": \"%s\", \"p\": %d, "
                   "\"messages\": %lld, \"bytes\": %lld, \"seconds\": %.6g, "
+                  "\"min\": %.6g, \"median\": %.6g, \"stddev\": %.6g, "
                   "\"msgs_per_sec\": %.6g, \"mb_per_sec\": %.6g}",
                   i ? "," : "", r.workload.c_str(), r.p, r.messages, r.bytes,
-                  r.seconds, r.msgs_per_sec(), r.mb_per_sec());
+                  r.seconds, r.min, r.median, r.stddev, r.msgs_per_sec(),
+                  r.mb_per_sec());
     os << line;
   }
   os << "\n  ]\n}\n";
@@ -211,11 +241,29 @@ bool write_json(const std::string& path, const std::vector<Result>& results) {
 
 int main(int argc, char** argv) {
   std::string json_path = "BENCH_transport.json";
+  std::string only_workload;
   bool quick = false;
+  bool telemetry = false;
+  int reps_override = 0;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--quick") {
       quick = true;
+    } else if (arg == "--telemetry") {
+      // Arm the production-telemetry layer (histograms + contention
+      // probes) for every run, so the CI perf gate can assert its
+      // overhead against a plain run of the same binary.
+      telemetry = true;
+    } else if (arg.rfind("--workload=", 0) == 0) {
+      // Restrict the sweep to one workload (the overhead gate measures
+      // only fanin, with extra reps — no point paying for the others).
+      only_workload = arg.substr(std::strlen("--workload="));
+    } else if (arg.rfind("--reps=", 0) == 0) {
+      reps_override = std::atoi(arg.c_str() + std::strlen("--reps="));
+      if (reps_override <= 0) {
+        std::fprintf(stderr, "bad --reps value in %s\n", arg.c_str());
+        return 2;
+      }
     } else if (arg.rfind("--json=", 0) == 0) {
       json_path = arg.substr(std::strlen("--json="));
     } else if (arg == "--no-json") {
@@ -223,20 +271,28 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "unknown option %s\n"
-                   "usage: bench_transport [--quick] [--json=PATH|--no-json]\n",
+                   "usage: bench_transport [--quick] [--telemetry] "
+                   "[--workload=NAME] [--reps=N] [--json=PATH|--no-json]\n",
                    arg.c_str());
       return 2;
     }
   }
+  mpl::RunOptions opts;
+  opts.telemetry.enabled = telemetry;
+  const auto want = [&](const char* w) {
+    return only_workload.empty() || only_workload == w;
+  };
 
   const std::vector<int> ps = quick ? std::vector<int>{16, 64}
                                     : std::vector<int>{16, 64, 256};
   // Best-of-N: the host has few cores, so any single rep can absorb a
   // scheduler hiccup; the minimum over several reps is far more stable.
-  const int reps = quick ? 2 : 6;
+  // The overhead gate compares medians instead and passes --reps to get
+  // enough samples for the median to shed single hiccups too.
+  const int reps = reps_override > 0 ? reps_override : (quick ? 2 : 6);
   std::vector<Result> results;
-  std::printf("Transport wall-clock benchmark (model off)%s\n",
-              quick ? " [quick]" : "");
+  std::printf("Transport wall-clock benchmark (model off)%s%s\n",
+              quick ? " [quick]" : "", telemetry ? " [telemetry]" : "");
   for (const int p : ps) {
     // Scale iteration counts down with p so total message counts (and the
     // oversubscription of host cores) stay comparable across the sweep.
@@ -245,9 +301,12 @@ int main(int argc, char** argv) {
     // message volume to keep each sample well above scheduler noise.
     const int fanin_iters = (quick ? 2000 : 16000) / (p / 16);
     const int halo_iters = (quick ? 50 : 200) / (p / 16);
-    for (const Result& r :
-         {run_pingpong(p, pingpong_iters, reps),
-          run_fanin(p, fanin_iters, reps), run_halo2d(p, halo_iters, reps)}) {
+    std::vector<Result> batch;
+    if (want("pingpong"))
+      batch.push_back(run_pingpong(p, pingpong_iters, reps, opts));
+    if (want("fanin")) batch.push_back(run_fanin(p, fanin_iters, reps, opts));
+    if (want("halo2d")) batch.push_back(run_halo2d(p, halo_iters, reps, opts));
+    for (const Result& r : batch) {
       std::printf("p=%4d %-9s %10lld msgs in %8.3f s  -> %12.0f msgs/s, "
                   "%8.1f MB/s\n",
                   r.p, r.workload.c_str(), r.messages, r.seconds,
@@ -255,5 +314,5 @@ int main(int argc, char** argv) {
       results.push_back(r);
     }
   }
-  return write_json(json_path, results) ? 0 : 1;
+  return write_json(json_path, results, telemetry) ? 0 : 1;
 }

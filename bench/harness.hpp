@@ -102,7 +102,14 @@ struct BenchRecord {
   int n = 0;            ///< stencil parameter (or 0)
   int m = 0;            ///< block size in elements (or 0)
   std::string variant;  ///< e.g. "neighbor", "combining"
-  double seconds = 0.0; ///< filtered-mean virtual makespan
+  double seconds = 0.0; ///< filtered-mean virtual makespan (headline value)
+  // Per-configuration dispersion over the raw repetition samples, so
+  // consumers (tools/perf_diff.py's noise allowance in particular) can
+  // distinguish a regression from run-to-run jitter. When a bench reports
+  // a single number, min == median == seconds and stddev == 0.
+  double min = 0.0;     ///< fastest repetition
+  double median = 0.0;  ///< median repetition
+  double stddev = 0.0;  ///< sample standard deviation across repetitions
 };
 
 /// Collected records of this process. Only rank 0 of a bench run records,
@@ -113,10 +120,27 @@ inline std::vector<BenchRecord>& bench_records() {
 }
 
 inline void bench_record(const mpl::Comm& comm, std::string bench, int d,
-                         int n, int m, std::string variant, double seconds) {
+                         int n, int m, std::string variant, double seconds,
+                         std::vector<double> samples = {}) {
   if (comm.rank() != 0) return;
-  bench_records().push_back(
-      {std::move(bench), d, n, m, std::move(variant), seconds});
+  BenchRecord r{std::move(bench), d, n, m, std::move(variant), seconds,
+                seconds, seconds, 0.0};
+  if (!samples.empty()) {
+    std::sort(samples.begin(), samples.end());
+    r.min = samples.front();
+    const std::size_t k = samples.size();
+    r.median = (k % 2) ? samples[k / 2]
+                       : 0.5 * (samples[k / 2 - 1] + samples[k / 2]);
+    if (k > 1) {
+      double mean = 0.0;
+      for (double x : samples) mean += x;
+      mean /= static_cast<double>(k);
+      double var = 0.0;
+      for (double x : samples) var += (x - mean) * (x - mean);
+      r.stddev = std::sqrt(var / static_cast<double>(k - 1));
+    }
+  }
+  bench_records().push_back(std::move(r));
 }
 
 /// Write all collected records as JSON; returns false on I/O failure.
@@ -136,10 +160,17 @@ inline bool write_bench_json(const std::string& path,
     const BenchRecord& r = records[i];
     os << (i ? "," : "") << "\n    {\"bench\": \"" << r.bench
        << "\", \"d\": " << r.d << ", \"n\": " << r.n << ", \"m\": " << r.m
-       << ", \"variant\": \"" << r.variant << "\", \"seconds\": ";
+       << ", \"variant\": \"" << r.variant << "\"";
     char buf[40];
-    std::snprintf(buf, sizeof(buf), "%.17g", r.seconds);
-    os << buf << "}";
+    const auto field = [&](const char* name, double v) {
+      std::snprintf(buf, sizeof(buf), "%.17g", v);
+      os << ", \"" << name << "\": " << buf;
+    };
+    field("seconds", r.seconds);
+    field("min", r.min);
+    field("median", r.median);
+    field("stddev", r.stddev);
+    os << "}";
   }
   os << "\n  ]\n}\n";
   return os.good();

@@ -1,5 +1,6 @@
 #include "cartcomm/schedule.hpp"
 
+#include <chrono>
 #include <sstream>
 
 #include "mpl/collectives.hpp"
@@ -7,6 +8,8 @@
 #include "mpl/error.hpp"
 #include "mpl/proc.hpp"
 #include "mpl/request.hpp"
+#include "telemetry/flight.hpp"
+#include "telemetry/telemetry.hpp"
 #include "trace/trace.hpp"
 
 namespace cartcomm {
@@ -49,6 +52,15 @@ Schedule::Execution::Execution(const Schedule* s, const mpl::Comm& comm)
     }
   }
   publish_point_ = comm.proc().faults() != nullptr;
+  // The flight recorder is always armed; the latency histogram only when
+  // telemetry is. The ordinal is per rank thread, so a stall report can
+  // line up "execution #k" across ranks.
+  thread_local std::int32_t tl_exec_ordinal = 0;
+  exec_ordinal_ = tl_exec_ordinal++;
+  flight_ = &comm.proc().flight();
+  telem_ = comm.proc().telem();
+  t0_ = std::chrono::steady_clock::now();
+  flight_->record(telemetry::FlightKind::sched_begin, exec_ordinal_);
   post_phase();  // may already complete everything (no communication)
 }
 
@@ -94,10 +106,14 @@ void Schedule::Execution::post_phase() {
       return;
     }
     begin_phase_scope(static_cast<int>(phase_));
+    flight_->record(telemetry::FlightKind::phase_begin,
+                    static_cast<std::int32_t>(phase_));
     const int nrounds = sched_->phase_rounds_[phase_];
     for (int j = 0; j < nrounds; ++j) {
       const ScheduleRound& r = sched_->rounds_[round_base_ + static_cast<std::size_t>(j)];
       require_null_provenance(r);
+      flight_->record(telemetry::FlightKind::round,
+                      static_cast<std::int32_t>(phase_), j);
       if (publish_point_) {
         comm_.proc().set_sched_point(static_cast<int>(phase_), j);
       }
@@ -152,6 +168,12 @@ void Schedule::Execution::finish_copies() {
   }
   if (scope) end_phase_scope();
   if (publish_point_) comm_.proc().set_sched_point(-1, -1);
+  flight_->record(telemetry::FlightKind::sched_end, exec_ordinal_);
+  if (telem_) {
+    const auto dt = std::chrono::steady_clock::now() - t0_;
+    telem_->on_collective(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(dt).count()));
+  }
   done_ = true;
 }
 

@@ -12,7 +12,9 @@
 // performs local copies (self blocks, duplicated allgather targets).
 #pragma once
 
+#include <chrono>
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <string>
 #include <vector>
@@ -20,6 +22,11 @@
 #include "mpl/comm.hpp"
 #include "mpl/datatype.hpp"
 #include "mpl/topology.hpp"
+
+namespace telemetry {
+class FlightRecorder;
+class RankTelemetry;
+}
 
 namespace trace {
 class RankTrace;
@@ -180,6 +187,14 @@ class Schedule::Execution {
   // Publish phase/round progress to the Proc (fault runs only), so stall
   // reports can name the schedule point each rank is blocked at.
   bool publish_point_ = false;
+  // Telemetry (independent of the trace layer): the always-on flight
+  // recorder gets phase/round transition events, and — when telemetry is
+  // armed — the whole execution's wall latency lands in the owning rank's
+  // per-collective histogram on completion.
+  telemetry::FlightRecorder* flight_ = nullptr;
+  telemetry::RankTelemetry* telem_ = nullptr;
+  std::int32_t exec_ordinal_ = -1;
+  std::chrono::steady_clock::time_point t0_{};
 };
 
 /// Incremental builder used by the alltoall/allgather schedule algorithms.

@@ -36,13 +36,19 @@
 //      never reach its own lock.
 //
 // With MPL_CHECKED undefined (the default) the wrapper compiles down to a
-// plain std::mutex: lock/unlock inline to the std calls, identical layout.
+// plain std::mutex plus one relaxed atomic-bool load per lock(): the
+// contention-profiling gate (src/telemetry/contention.hpp). When telemetry
+// is armed, lock() turns into try_lock-then-block and feeds per-level
+// acquisition / contended / blocked-ns counters; when it is off (the
+// default) the probe is the single load and the branch predictor eats it.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 
 #include "mpl/annotations.hpp"
+#include "telemetry/contention.hpp"
 
 #ifdef MPL_CHECKED
 #include <stdexcept>
@@ -177,13 +183,13 @@ class MPL_CAPABILITY("mutex") CheckedMutex {
     // stays quiet on the deliberate-inversion tests.)
     LockTracker::acquired(Level);
     try {
-      mtx_.lock();
+      lock_probed();
     } catch (...) {
       LockTracker::released(Level);
       throw;
     }
 #else
-    mtx_.lock();
+    lock_probed();
 #endif
   }
 
@@ -194,10 +200,13 @@ class MPL_CAPABILITY("mutex") CheckedMutex {
       LockTracker::released(Level);
       return false;
     }
-    return true;
 #else
-    return mtx_.try_lock();
+    if (!mtx_.try_lock()) return false;
 #endif
+    if (telemetry::contention_enabled()) {
+      telemetry::on_lock_acquired(static_cast<int>(Level));
+    }
+    return true;
   }
 
   void unlock() MPL_RELEASE() {
@@ -208,6 +217,30 @@ class MPL_CAPABILITY("mutex") CheckedMutex {
   }
 
  private:
+  /// The real acquisition, shared by both MPL_CHECKED branches of lock().
+  /// With contention profiling disarmed this is mtx_.lock() behind one
+  /// relaxed load. Armed, an uncontended acquisition costs one try_lock;
+  /// the clock is read only on the path that was going to block anyway,
+  /// so the <5% hot-path overhead budget holds.
+  void lock_probed() {
+    if (!telemetry::contention_enabled()) {
+      mtx_.lock();
+      return;
+    }
+    if (mtx_.try_lock()) {
+      telemetry::on_lock_acquired(static_cast<int>(Level));
+      return;
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    mtx_.lock();
+    const auto blocked = std::chrono::steady_clock::now() - t0;
+    telemetry::on_lock_contended(
+        static_cast<int>(Level),
+        static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(blocked)
+                .count()));
+  }
+
   std::mutex mtx_;
 };
 

@@ -8,6 +8,7 @@
 #include "mpl/comm_state.hpp"
 #include "mpl/error.hpp"
 #include "mpl/proc.hpp"
+#include "telemetry/telemetry.hpp"
 #include "trace/trace.hpp"
 
 namespace mpl {
@@ -139,6 +140,18 @@ void Comm::isend_core(Channel ch, const void* buf, int count,
   }
   const double strag =
       (fp && fp->injecting()) ? fp->straggler_overhead(rank_) : 0.0;
+
+  // Production telemetry (independent of the tracer, so the receive fast
+  // path stays enabled): size histogram + counters, plus fault tallies.
+  if (telemetry::RankTelemetry* tm = self.telem()) {
+    tm->on_send(msg.payload.size());
+    if (drops > 0) tm->on_fault_retries(static_cast<std::uint64_t>(drops));
+    if (fdelay > 0.0) tm->on_fault_delay();
+  }
+  // Retransmits are rare enough to be flight-timeline material.
+  if (drops > 0) {
+    self.flight().record(telemetry::FlightKind::retry, drops, dest);
+  }
 
   if (self.clock().enabled()) {
     // Each dropped attempt charges one bounded exponential backoff before
@@ -386,6 +399,9 @@ Status Comm::recv(void* buf, int count, const Datatype& type, int src,
       Status st;
       if (self.mailbox().try_recv_now(channel_ctx(state_->ctx, Channel::user),
                                       src, tag, type, buf, count, &st)) {
+        if (telemetry::RankTelemetry* tm = self.telem()) {
+          tm->on_recv(st.bytes);
+        }
         return st;
       }
     }
@@ -577,6 +593,11 @@ const trace::Counters* Comm::metrics() const {
   trace::RankTrace* tr = proc().trace();
   if (!tr || !tr->metrics_on()) return nullptr;
   return &tr->counters(state_->ctx);
+}
+
+const telemetry::RankTelemetry* Comm::telemetry() const {
+  MPL_REQUIRE(valid(), "telemetry on invalid communicator");
+  return proc().telem();
 }
 
 }  // namespace mpl

@@ -15,6 +15,10 @@
 #include "mpl/mailbox.hpp"
 #include "mpl/request.hpp"
 
+namespace telemetry {
+class RankTelemetry;
+}
+
 namespace trace {
 struct Counters;
 }
@@ -146,6 +150,11 @@ class Comm {
   /// This process' metrics for this communicator (all channels aggregated
   /// under the base context). Null when metrics are not armed.
   [[nodiscard]] const trace::Counters* metrics() const;
+
+  /// This process' production telemetry block (latency/size histograms and
+  /// counters; run-wide, not per-communicator). Null when telemetry is not
+  /// armed (RunOptions::telemetry / MPL_TELEMETRY / MPL_OPENMETRICS).
+  [[nodiscard]] const telemetry::RankTelemetry* telemetry() const;
 
   // -- internal access (used by collectives/topology layers) ----------------
 

@@ -115,6 +115,16 @@ std::string pending_ops_dump(RuntimeState& rt) {
       if (round >= 0) os << " round " << round;
     }
   }
+  // The flight recorder rings are lock-free and tolerate concurrent
+  // writers (a torn slot prints garbage for that one event, nothing more),
+  // so the timeline covers every rank — including ones that already
+  // exited, whose last events often explain why the others are stuck.
+  os << "\nflight recorder (best-effort, last "
+     << telemetry::FlightRecorder::kCapacity << " events per rank):";
+  for (auto& p : rt.procs) {
+    os << "\n  rank " << p->world_rank() << ": ";
+    p->flight().dump(os);
+  }
   return os.str();
 }
 

@@ -139,6 +139,10 @@ Status Mailbox::wait_probe(std::uint64_t ctx, int src, int tag) {
       return probe_match(unexpected_, ctx, src, tag, &st) || aborting();
     };
     blocked_.store(true, std::memory_order_relaxed);
+    if (flight_ && !stop()) {
+      flight_->record(telemetry::FlightKind::wait_block,
+                      static_cast<int>(WaitKind::probe), src);
+    }
     if (!timeout_armed()) {
       cv_.wait(lock, stop);
     } else {
@@ -255,6 +259,13 @@ void Mailbox::wait_done(const std::shared_ptr<ReqState>& r) {
       return r->done.load(std::memory_order_acquire) || aborting();
     };
     blocked_.store(true, std::memory_order_relaxed);
+    // Flight event only when the wait actually parks (the spin above
+    // already absorbed the common completes-immediately case).
+    if (flight_ && !stop()) {
+      flight_->record(telemetry::FlightKind::wait_block,
+                      static_cast<int>(WaitKind::request),
+                      r->kind == ReqState::Kind::recv ? r->match_src : -1);
+    }
     if (!timeout_armed()) {
       cv_.wait(lock, stop);
     } else {
@@ -329,6 +340,7 @@ void Mailbox::fail_wait(bool timed_out, const std::string& what) {
   // Diagnostics are assembled with no lock held: pending_ops_dump() takes
   // every mailbox lock in turn (including this one), which the checked
   // same-level lock rule would reject from under mtx_.
+  if (flight_) flight_->record(telemetry::FlightKind::wait_timeout);
   if (timed_out) {
     throw TimeoutError(
         "mpl: blocking wait timed out after " +

@@ -32,6 +32,7 @@
 #include "mpl/fault.hpp"
 #include "mpl/pool.hpp"
 #include "mpl/request.hpp"
+#include "telemetry/flight.hpp"
 
 namespace trace {
 class Tracer;
@@ -91,6 +92,12 @@ class Mailbox {
     faults_ = plan;
     rt_ = rt;
     rank_ = rank;
+  }
+
+  /// Wire the owning rank's always-on flight recorder (Proc::init, before
+  /// threads start): parked waits and wait timeouts become timeline events.
+  void set_flight(telemetry::FlightRecorder* flight) noexcept {
+    flight_ = flight;
   }
 
   /// Monotone count of delivery/progress events, sampled by the watchdog
@@ -159,6 +166,11 @@ class Mailbox {
       // contract.
       auto stop = [&] { return pred() || aborting(); };
       blocked_.store(true, std::memory_order_relaxed);
+      // Flight event only when the wait will actually park (cold path).
+      if (flight_ && !stop()) {
+        flight_->record(telemetry::FlightKind::wait_block,
+                        static_cast<int>(WaitKind::any));
+      }
       if (!timeout_armed()) {
         cv_.wait(lock, stop);
       } else {
@@ -252,6 +264,7 @@ class Mailbox {
   const trace::Tracer* tracer_ = nullptr;
   const FaultPlan* faults_ = nullptr;
   detail::RuntimeState* rt_ = nullptr;
+  telemetry::FlightRecorder* flight_ = nullptr;
   int rank_ = -1;
 
   /// Progress signal for the watchdog: bumped on every delivery and posted

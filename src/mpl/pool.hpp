@@ -36,6 +36,7 @@
 #include "mpl/annotations.hpp"
 #include "mpl/checked.hpp"
 #include "mpl/fault.hpp"
+#include "telemetry/flight.hpp"
 
 namespace mpl::detail {
 
@@ -89,6 +90,8 @@ class BufferPool {
     std::uint64_t recycled = 0;  ///< buffers returned to the freelist
     std::uint64_t dropped = 0;   ///< buffers freed on return (depth/size cap)
     std::uint64_t forced_misses = 0;  ///< misses injected by the fault plan
+    std::uint64_t free_watermark = 0;  ///< peak freelist depth (occupancy)
+    std::uint64_t free_now = 0;  ///< freelist depth at snapshot time
   };
 
   /// Wire fault injection (exhaustion pressure): forced freelist misses
@@ -98,23 +101,37 @@ class BufferPool {
     rank_ = rank;
   }
 
+  /// Wire the owning rank's flight recorder (Proc::init, before threads
+  /// start); freelist misses become `pool_miss` timeline events.
+  void set_flight(telemetry::FlightRecorder* flight) noexcept {
+    flight_ = flight;
+  }
+
   /// Get a buffer with logical size `n` (contents undefined). Never called
   /// with a tracked lock held; the ensure() growth runs outside the pool
   /// lock so a freelist miss does not serialize other recyclers.
   [[nodiscard]] Buffer acquire(std::size_t n) MPL_EXCLUDES(mtx_) {
     Buffer b;
+    bool miss = false;
+    bool forced = false;
     {
       CheckedLock lock(mtx_);
       if (faults_ && faults_->pool_forced_miss(rank_, acquires_++)) {
         ++stats_.misses;
         ++stats_.forced_misses;
+        miss = forced = true;
       } else if (!free_.empty()) {
         b = std::move(free_.back());
         free_.pop_back();
         ++stats_.hits;
       } else {
         ++stats_.misses;
+        miss = true;
       }
+    }
+    // Flight events only on the cold (miss) path: steady state is all hits.
+    if (miss && flight_) {
+      flight_->record(telemetry::FlightKind::pool_miss, forced ? 1 : 0);
     }
     b.ensure(n);
     return b;
@@ -138,6 +155,9 @@ class BufferPool {
     if (free_.size() < depth_cap && b.capacity() <= kMaxPooledBytes) {
       free_.push_back(std::move(b));
       ++stats_.recycled;
+      if (free_.size() > stats_.free_watermark) {
+        stats_.free_watermark = free_.size();
+      }
     } else {
       ++stats_.dropped;  // b freed on scope exit
     }
@@ -145,7 +165,9 @@ class BufferPool {
 
   [[nodiscard]] Stats stats() MPL_EXCLUDES(mtx_) {
     CheckedLock lock(mtx_);
-    return stats_;
+    Stats s = stats_;
+    s.free_now = free_.size();
+    return s;
   }
 
  private:
@@ -153,6 +175,7 @@ class BufferPool {
   std::vector<Buffer> free_ MPL_GUARDED_BY(mtx_);
   Stats stats_ MPL_GUARDED_BY(mtx_);
   const mpl::FaultPlan* faults_ = nullptr;  // set before threads start
+  telemetry::FlightRecorder* flight_ = nullptr;  // set before threads start
   int rank_ = -1;                           // set before threads start
   /// Fault decision sequence number.
   std::uint64_t acquires_ MPL_GUARDED_BY(mtx_) = 0;

@@ -7,10 +7,15 @@
 #include "mpl/mailbox.hpp"
 #include "mpl/netmodel.hpp"
 #include "mpl/pool.hpp"
+#include "telemetry/flight.hpp"
 
 namespace trace {
 class RankTrace;
 class Tracer;
+}
+
+namespace telemetry {
+class RankTelemetry;
 }
 
 namespace mpl {
@@ -44,6 +49,8 @@ class Proc {
     world_rank_ = world_rank;
     world_size_ = world_size;
     rt_ = rt;
+    mailbox_.set_flight(&flight_);
+    pool_.set_flight(&flight_);
   }
 
   /// Internal: wire the recorder (runtime, before the thread starts).
@@ -51,6 +58,24 @@ class Proc {
     trace_ = t;
     tracer_ = tracer;
   }
+
+  /// Always-on flight recorder: last-N high-level transport events of
+  /// this rank, dumped into timeout/stall reports (src/telemetry).
+  [[nodiscard]] telemetry::FlightRecorder& flight() noexcept { return flight_; }
+  [[nodiscard]] const telemetry::FlightRecorder& flight() const noexcept {
+    return flight_;
+  }
+
+  /// Per-rank telemetry block (histograms + counters); null unless
+  /// RunOptions::telemetry armed it — the single-branch gate the
+  /// counting sites check first. Independent of trace(): arming
+  /// telemetry must not disable the mailbox fast-path receive.
+  [[nodiscard]] telemetry::RankTelemetry* telem() const noexcept {
+    return telem_;
+  }
+
+  /// Internal: wire the telemetry block (runtime, before threads start).
+  void set_telemetry(telemetry::RankTelemetry* t) noexcept { telem_ = t; }
 
   /// The run's fault plan; null when nothing is armed (the single-branch
   /// gate the transport's injection sites check first).
@@ -98,6 +123,8 @@ class Proc {
   trace::RankTrace* trace_ = nullptr;
   const trace::Tracer* tracer_ = nullptr;
   const FaultPlan* faults_ = nullptr;
+  telemetry::FlightRecorder flight_;
+  telemetry::RankTelemetry* telem_ = nullptr;
   std::uint64_t fault_seq_ = 0;
   std::atomic<int> sched_phase_{-1};
   std::atomic<int> sched_round_{-1};

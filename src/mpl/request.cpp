@@ -1,10 +1,12 @@
 #include "mpl/request.hpp"
 
 #include <algorithm>
+#include <chrono>
 
 #include "mpl/comm_state.hpp"
 #include "mpl/error.hpp"
 #include "mpl/proc.hpp"
+#include "telemetry/telemetry.hpp"
 #include "trace/trace.hpp"
 
 namespace mpl {
@@ -26,6 +28,13 @@ void account(detail::ReqState& st, Proc& owner) {
   if (st.model_accounted) return;
   st.model_accounted = true;
   if (st.kind != detail::ReqState::Kind::recv || st.null_recv) return;
+
+  // Owner-side receive telemetry: account() is the one point every
+  // request-based receive passes exactly once (the no-request fast path
+  // counts in Comm::recv directly).
+  if (telemetry::RankTelemetry* tm = owner.telem()) {
+    tm->on_recv(st.status.bytes);
+  }
 
   trace::RankTrace* tr = owner.trace();
   const bool active = tr && tr->active();
@@ -102,11 +111,42 @@ Status Request::wait() {
   MPL_REQUIRE(valid(), "wait on invalid request");
   if (!state_->done.load(std::memory_order_acquire)) {
     trace::RankTrace* tr = owner_->trace();
-    if (tr && tr->metrics_on()) {
-      const double w0 = owner_->tracer()->wall_now();
+    telemetry::RankTelemetry* tm = owner_->telem();
+    const bool metrics = tr && tr->metrics_on();
+    if (metrics || tm) {
+      // Wall-clock the park. steady_clock, not the tracer's clock, so the
+      // telemetry wait histogram works with tracing fully disarmed.
+      const auto w0 = std::chrono::steady_clock::now();
       owner_->mailbox().wait_done(state_);
-      tr->on_wait_wall(state_->ctx & detail::kCtxBaseMask,
-                       owner_->tracer()->wall_now() - w0);
+      const auto blocked = std::chrono::steady_clock::now() - w0;
+      const double secs =
+          std::chrono::duration<double>(blocked).count();
+      if (tm) {
+        tm->on_wait_block(static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(blocked)
+                .count()));
+      }
+      if (metrics) {
+        tr->on_wait_wall(state_->ctx & detail::kCtxBaseMask, secs);
+      }
+      if (tr && tr->tracing()) {
+        // Zero-component marker event: the wait adds no modeled cost (the
+        // virtual clock does not move while parked), but the wall span
+        // makes blocked time visible on the trace timeline.
+        trace::Event e;
+        e.kind = trace::EventKind::wait_block;
+        e.ctx = state_->ctx;
+        e.peer = state_->kind == detail::ReqState::Kind::recv
+                     ? state_->match_src
+                     : -1;
+        const double v =
+            owner_->clock().enabled() ? owner_->clock().now() : 0.0;
+        e.v_start = v;
+        e.v_end = v;
+        e.w_end = owner_->tracer()->wall_now();
+        e.w_start = e.w_end - secs;
+        tr->record(std::move(e));
+      }
     } else {
       owner_->mailbox().wait_done(state_);
     }

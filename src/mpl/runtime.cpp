@@ -4,6 +4,9 @@
 #include <atomic>
 #include <chrono>
 #include <exception>
+#include <fstream>
+#include <iostream>
+#include <memory>
 #include <mutex>
 #include <thread>
 
@@ -12,12 +15,77 @@
 #include "mpl/error.hpp"
 #include "mpl/proc.hpp"
 #include "mpl/runtime_state.hpp"
+#include "telemetry/openmetrics.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace mpl {
 
 namespace {
 thread_local Proc* tls_proc = nullptr;
+
+// Aggregate every rank's telemetry block, pool stats and the process-wide
+// contention totals into one exporter snapshot. Safe to call while rank
+// threads are still running (periodic snapshots): every source is
+// relaxed-atomic or lock-protected, so mid-run reads are torn only across
+// metrics, never within one.
+void gather_metrics(
+    detail::RuntimeState& rt,
+    const std::vector<std::unique_ptr<telemetry::RankTelemetry>>& telems,
+    telemetry::MetricsSnapshot& s) {
+  s.nprocs = static_cast<int>(rt.procs.size());
+  for (const auto& tm : telems) {
+    s.msgs_sent += tm->msgs_sent();
+    s.bytes_sent += tm->bytes_sent();
+    s.msgs_recv += tm->msgs_recv();
+    s.bytes_recv += tm->bytes_recv();
+    s.waits += tm->waits();
+    s.collectives += tm->collectives();
+    s.fault_retries += tm->fault_retries();
+    s.fault_delays += tm->fault_delays();
+    s.collective_ns.merge(tm->collective_latency());
+    s.wait_block_ns.merge(tm->wait_block_latency());
+    s.msg_bytes.merge(tm->message_sizes());
+  }
+  for (auto& p : rt.procs) {
+    const detail::BufferPool::Stats ps = p->pool().stats();
+    s.pool.hits += ps.hits;
+    s.pool.misses += ps.misses;
+    s.pool.recycled += ps.recycled;
+    s.pool.dropped += ps.dropped;
+    s.pool.forced_misses += ps.forced_misses;
+    s.pool.free_now += ps.free_now;
+    s.pool.free_watermark = std::max(s.pool.free_watermark, ps.free_watermark);
+  }
+  s.contention = telemetry::contention_totals();
 }
+
+// Write one OpenMetrics snapshot to `path` (`-` = stdout). Returns an
+// error string instead of throwing so the caller decides severity: the
+// final write is fatal, periodic rewrites only warn once.
+std::string write_openmetrics_file(
+    const std::string& path, detail::RuntimeState& rt,
+    const std::vector<std::unique_ptr<telemetry::RankTelemetry>>& telems) {
+  telemetry::MetricsSnapshot snap;
+  gather_metrics(rt, telems, snap);
+  if (path == "-") {
+    telemetry::write_openmetrics(std::cout, snap);
+    return std::cout ? std::string()
+                     : std::string("mpl: openmetrics: stdout write failed");
+  }
+  std::ofstream os(path, std::ios::trunc);
+  if (!os) return "mpl: openmetrics: cannot open " + path;
+  telemetry::write_openmetrics(os, snap);
+  os.flush();
+  if (!os) return "mpl: openmetrics: write to " + path + " failed";
+  return {};
+}
+
+// Disarm the contention probes on every exit path without resetting the
+// totals (tests and the exporter read them after run() returns).
+struct ContentionDisarmGuard {
+  ~ContentionDisarmGuard() { telemetry::contention_arm(false); }
+};
+}  // namespace
 
 Proc* this_proc() noexcept { return tls_proc; }
 
@@ -52,6 +120,19 @@ void run(int nprocs, const std::function<void(Comm&)>& fn,
   trace::TraceConfig tcfg = opts.trace;
   tcfg.apply_env();
   rt.tracer.configure(tcfg, nprocs);
+
+  telemetry::TelemetryConfig mcfg = opts.telemetry;
+  mcfg.apply_env();
+  const bool telem_armed = mcfg.armed();
+  std::vector<std::unique_ptr<telemetry::RankTelemetry>> telems;
+  if (telem_armed) {
+    telems.reserve(static_cast<std::size_t>(nprocs));
+    for (int r = 0; r < nprocs; ++r) {
+      telems.push_back(std::make_unique<telemetry::RankTelemetry>(r));
+    }
+    telemetry::contention_arm(true);  // resets totals for this run
+  }
+  ContentionDisarmGuard contention_guard;
   std::vector<std::pair<std::string, double>> meta{
       {"o", opts.net.o},
       {"L", opts.net.L},
@@ -83,6 +164,7 @@ void run(int nprocs, const std::function<void(Comm&)>& fn,
     p->clock().configure(opts.net, r);
     p->mailbox().set_abort_flag(&rt.abort);
     p->set_trace(rt.tracer.rank(r), rt.tracer.armed() ? &rt.tracer : nullptr);
+    if (telem_armed) p->set_telemetry(telems[static_cast<std::size_t>(r)].get());
     // Arrival stamping costs one wall-clock read per message; only wire it
     // when event tracing is on.
     if (rt.tracer.trace_armed()) p->mailbox().set_tracer(&rt.tracer);
@@ -152,6 +234,34 @@ void run(int nprocs, const std::function<void(Comm&)>& fn,
     });
   }
 
+  // Periodic OpenMetrics snapshots: rewrite the file every period so an
+  // external scraper sees a live view of a long run. Best-effort — a write
+  // failure warns once (to stderr) instead of killing the run; the final
+  // post-join write below is the authoritative one and is fatal on failure.
+  std::thread snapshotter;
+  std::atomic<bool> snap_stop{false};
+  if (telem_armed && !mcfg.openmetrics_path.empty() && mcfg.period_ms > 0.0 &&
+      mcfg.openmetrics_path != "-") {
+    snapshotter = std::thread([&rt, &telems, &snap_stop, &mcfg] {
+      const std::chrono::duration<double, std::milli> period(mcfg.period_ms);
+      const auto slice = std::chrono::milliseconds(5);
+      bool warned = false;
+      auto next = std::chrono::steady_clock::now() + period;
+      while (!snap_stop.load(std::memory_order_relaxed)) {
+        std::this_thread::sleep_for(slice);
+        if (std::chrono::steady_clock::now() < next) continue;
+        next += period;
+        const std::string err =
+            write_openmetrics_file(mcfg.openmetrics_path, rt, telems);
+        if (!err.empty() && !warned) {
+          std::cerr << err << " (periodic snapshots disabled)\n";
+          warned = true;
+          return;
+        }
+      }
+    });
+  }
+
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(nprocs));
   for (int r = 0; r < nprocs; ++r) {
@@ -174,12 +284,22 @@ void run(int nprocs, const std::function<void(Comm&)>& fn,
   for (auto& t : threads) t.join();
   wd_stop.store(true, std::memory_order_relaxed);
   if (watchdog.joinable()) watchdog.join();
+  snap_stop.store(true, std::memory_order_relaxed);
+  if (snapshotter.joinable()) snapshotter.join();
 
   if (auto first_error = errors.first()) std::rethrow_exception(first_error);
 
   // All process threads joined: the per-rank rings are safe to read.
   const std::string trace_error = rt.tracer.flush();
   if (!trace_error.empty()) throw Error(trace_error);
+
+  // Final (authoritative) OpenMetrics export; all rank threads are joined,
+  // so this snapshot is exact, not a mid-run approximation.
+  if (telem_armed && !mcfg.openmetrics_path.empty()) {
+    const std::string err =
+        write_openmetrics_file(mcfg.openmetrics_path, rt, telems);
+    if (!err.empty()) throw Error(err);
+  }
 }
 
 }  // namespace mpl

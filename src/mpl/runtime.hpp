@@ -6,6 +6,7 @@
 
 #include "mpl/fault.hpp"
 #include "mpl/netmodel.hpp"
+#include "telemetry/telemetry.hpp"
 #include "trace/trace.hpp"
 
 namespace mpl {
@@ -25,6 +26,12 @@ struct RunOptions {
   /// watchdog). Environment overrides: MPL_FAULTS spec, MPL_TIMEOUT_MS.
   /// Fully disarmed by default at one null-pointer check per site.
   FaultConfig faults;
+  /// Production telemetry: per-rank latency/size histograms, lock-contention
+  /// probes, and the OpenMetrics exporter. Environment overrides:
+  /// MPL_TELEMETRY, MPL_OPENMETRICS, MPL_OPENMETRICS_PERIOD_MS. Disarmed by
+  /// default at one null-pointer (or relaxed-bool) check per site; the
+  /// flight recorder is always on regardless.
+  telemetry::TelemetryConfig telemetry;
 };
 
 /// Run `fn` on `nprocs` simulated processes. Each process receives its own

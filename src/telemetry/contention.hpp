@@ -1,0 +1,98 @@
+// Lock-contention profiling registry, hooked into the CheckedMutex lock
+// path (src/mpl/checked.hpp). Per lock level it counts acquisitions,
+// contended acquisitions (try_lock failed and the thread had to block),
+// and cumulative blocked nanoseconds.
+//
+// This header is included by checked.hpp, which every transport header
+// includes in turn — so it must stay dependency-free (no mpl headers, no
+// iostream) and the disabled-path cost must be a single relaxed atomic
+// load. Counters are sharded across cache-line-sized slots (thread id →
+// shard, round-robin on first use) so concurrently-arriving ranks do not
+// serialize on the profiler itself. Deliberately lock-free: the telemetry
+// layer owns no mutex at all, which keeps it trivially outside the lock
+// hierarchy (and tools/lint_locks.py scans src/telemetry to prove no raw
+// primitive sneaks in).
+//
+// Levels are plain ints here (1-based, matching mpl::detail::LockLevel)
+// to avoid a circular include; display names live in telemetry.cpp and
+// are cross-checked against checked.hpp by test_telemetry.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace telemetry {
+
+/// One more than the highest LockLevel value we expect; out-of-range
+/// levels are clamped into the last slot rather than dropped.
+inline constexpr int kMaxLockLevels = 8;
+inline constexpr int kContentionShards = 16;
+
+/// Display name for a lock level (matches LockTracker::name()).
+const char* lock_level_name(int level) noexcept;
+
+struct ContentionTotals {
+  std::uint64_t acquisitions[kMaxLockLevels] = {};
+  std::uint64_t contended[kMaxLockLevels] = {};
+  std::uint64_t blocked_ns[kMaxLockLevels] = {};
+};
+
+namespace detail {
+
+struct alignas(64) ContentionShard {
+  std::atomic<std::uint64_t> acquisitions[kMaxLockLevels] = {};
+  std::atomic<std::uint64_t> contended[kMaxLockLevels] = {};
+  std::atomic<std::uint64_t> blocked_ns[kMaxLockLevels] = {};
+};
+
+inline std::atomic<bool> g_contention_enabled{false};
+inline ContentionShard g_contention_shards[kContentionShards];
+inline std::atomic<unsigned> g_next_shard{0};
+
+inline ContentionShard& my_shard() noexcept {
+  thread_local ContentionShard* shard =
+      &g_contention_shards[g_next_shard.fetch_add(
+                               1, std::memory_order_relaxed) %
+                           kContentionShards];
+  return *shard;
+}
+
+inline int clamp_level(int level) noexcept {
+  return (level >= 0 && level < kMaxLockLevels) ? level : kMaxLockLevels - 1;
+}
+
+}  // namespace detail
+
+/// The gate CheckedMutex::lock() reads on every acquisition. Off by
+/// default; armed by mpl::run when RunOptions::telemetry is enabled.
+inline bool contention_enabled() noexcept {
+  return detail::g_contention_enabled.load(std::memory_order_relaxed);
+}
+
+/// Arm/disarm the probes. Arming resets all counters so each run's totals
+/// stand alone; disarming leaves them readable.
+void contention_arm(bool on) noexcept;
+void contention_reset() noexcept;
+
+/// Uncontended acquisition (try_lock succeeded first try).
+inline void on_lock_acquired(int level) noexcept {
+  const int l = detail::clamp_level(level);
+  auto& s = detail::my_shard();
+  s.acquisitions[l].fetch_add(1, std::memory_order_relaxed);
+}
+
+/// Contended acquisition: the thread blocked for `blocked_ns` before
+/// getting the lock.
+inline void on_lock_contended(int level, std::uint64_t blocked_ns) noexcept {
+  const int l = detail::clamp_level(level);
+  auto& s = detail::my_shard();
+  s.acquisitions[l].fetch_add(1, std::memory_order_relaxed);
+  s.contended[l].fetch_add(1, std::memory_order_relaxed);
+  s.blocked_ns[l].fetch_add(blocked_ns, std::memory_order_relaxed);
+}
+
+/// Sum across shards (any thread, any time; relaxed snapshot).
+ContentionTotals contention_totals() noexcept;
+
+}  // namespace telemetry

@@ -1,0 +1,90 @@
+// Always-on per-rank flight recorder: a fixed ring of the last N
+// high-level transport events (phase/round transitions, retries, pool
+// misses, blocking waits, timeouts). Cheap enough to stay armed in every
+// run — one steady_clock read plus three relaxed stores per event, no
+// locks, no allocation — and dumped automatically into TimeoutError /
+// watchdog stall reports so "it wedged" comes with a replayable last-N
+// timeline per rank.
+//
+// Concurrency contract: the owning rank thread is the only writer; the
+// stall-report assembler (watchdog thread or a timed-out peer) reads
+// concurrently. head_ is published with release/acquire; the slots
+// themselves are relaxed atomics, so a reader racing the writer may see a
+// slot mid-overwrite — acceptable for an advisory crash dump (the dump is
+// explicitly labeled best-effort), and tear-free per word.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+
+namespace telemetry {
+
+enum class FlightKind : std::uint8_t {
+  none = 0,
+  sched_begin,   // a = schedule execution ordinal
+  phase_begin,   // a = phase index
+  round,         // a = phase index, b = round index
+  sched_end,     // a = schedule execution ordinal
+  retry,         // a = retransmit attempts for one message, b = dest rank
+  pool_miss,     // a = 1 when the miss was fault-forced
+  wait_block,    // a = wait kind (Mailbox::WaitKind), b = match src or -1
+  wait_timeout,  // terminal: the wait that threw TimeoutError
+};
+
+const char* flight_kind_name(FlightKind k) noexcept;
+
+class FlightRecorder {
+ public:
+  static constexpr std::size_t kCapacity = 64;
+
+  /// Owner-thread write path. a/b are small signed payloads (clamped to
+  /// 28 bits); -1 means "not applicable" and is elided from the dump.
+  void record(FlightKind k, std::int32_t a = -1, std::int32_t b = -1) noexcept {
+    const std::uint64_t seq = head_.load(std::memory_order_relaxed);
+    Slot& s = ring_[seq % kCapacity];
+    const auto dt = std::chrono::steady_clock::now() - base_;
+    s.t_us.store(
+        static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(dt).count()),
+        std::memory_order_relaxed);
+    s.meta.store(pack(k, a, b), std::memory_order_relaxed);
+    head_.store(seq + 1, std::memory_order_release);
+  }
+
+  /// Total events ever recorded (>= kCapacity means the ring wrapped).
+  [[nodiscard]] std::uint64_t recorded() const noexcept {
+    return head_.load(std::memory_order_acquire);
+  }
+
+  /// Append the timeline as one line: `+12us phase_begin(0) +15us ...`.
+  /// Best-effort snapshot; safe to call from any thread.
+  void dump(std::ostream& os) const;
+
+ private:
+  struct Slot {
+    std::atomic<std::uint64_t> meta{0};
+    std::atomic<std::uint64_t> t_us{0};
+  };
+
+  static constexpr std::uint64_t kFieldMask = (std::uint64_t{1} << 28) - 1;
+
+  static std::uint64_t pack(FlightKind k, std::int32_t a,
+                            std::int32_t b) noexcept {
+    const auto enc = [](std::int32_t v) -> std::uint64_t {
+      if (v < -1) v = -1;
+      // Biased by one so -1 encodes as 0; clamp keeps large ints in field.
+      std::uint64_t u = static_cast<std::uint64_t>(v + 1);
+      return u > kFieldMask ? kFieldMask : u;
+    };
+    return (static_cast<std::uint64_t>(k) << 56) | (enc(a) << 28) | enc(b);
+  }
+
+  std::atomic<std::uint64_t> head_{0};
+  std::array<Slot, kCapacity> ring_{};
+  std::chrono::steady_clock::time_point base_ = std::chrono::steady_clock::now();
+};
+
+}  // namespace telemetry

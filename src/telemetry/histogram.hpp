@@ -1,0 +1,140 @@
+// Log-linear (HDR-style) fixed-bucket histogram for production telemetry.
+//
+// Values are unsigned 64-bit ticks (nanoseconds for latencies, bytes for
+// message sizes). The bucket layout is the classic log-linear grid: each
+// power-of-two octave is split into 2^kSubBits linear sub-buckets, so the
+// relative quantization error is bounded by 2^-kSubBits (12.5% with
+// kSubBits = 3) across the whole 64-bit range, with a fixed bucket count
+// known at compile time — no allocation ever, neither at construction nor
+// on the hot path.
+//
+// Concurrency contract: exactly ONE writer thread calls record(); any
+// number of reader threads may call snapshot accessors or merge() *from*
+// this histogram concurrently. Buckets are relaxed atomics written with a
+// plain load+store (single-writer, so no RMW needed); readers see a
+// slightly stale but tear-free view. This is the same single-writer ring
+// discipline the trace layer uses, applied to counters.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+namespace telemetry {
+
+class Histogram {
+ public:
+  /// Sub-bucket resolution: 2^kSubBits linear buckets per octave.
+  static constexpr int kSubBits = 3;
+  static constexpr std::size_t kSubBuckets = std::size_t{1} << kSubBits;
+  /// Buckets 0..kSubBuckets-1 hold exact small values; every octave
+  /// k = kSubBits..63 contributes kSubBuckets more.
+  static constexpr std::size_t kBuckets =
+      kSubBuckets + (64 - kSubBits) * kSubBuckets;
+
+  /// Bucket index for a value; total order preserving, O(1), branch-light.
+  static constexpr std::size_t bucket_index(std::uint64_t v) noexcept {
+    if (v < kSubBuckets) return static_cast<std::size_t>(v);
+    const int k = 63 - std::countl_zero(v);  // floor(log2(v)), >= kSubBits
+    const std::uint64_t sub = (v >> (k - kSubBits)) - kSubBuckets;
+    return kSubBuckets +
+           (static_cast<std::size_t>(k - kSubBits)) * kSubBuckets +
+           static_cast<std::size_t>(sub);
+  }
+
+  /// Inclusive upper bound of bucket i (the OpenMetrics `le` edge).
+  static constexpr std::uint64_t bucket_upper(std::size_t i) noexcept {
+    if (i < kSubBuckets) return static_cast<std::uint64_t>(i);
+    if (i >= kBuckets - 1) return std::numeric_limits<std::uint64_t>::max();
+    const int k = kSubBits + static_cast<int>((i - kSubBuckets) / kSubBuckets);
+    const std::uint64_t sub = (i - kSubBuckets) % kSubBuckets;
+    return (std::uint64_t{1} << k) + ((sub + 1) << (k - kSubBits)) - 1;
+  }
+
+  /// Owner-thread write path: bump the value's bucket and the aggregates.
+  void record(std::uint64_t v) noexcept {
+    bump(buckets_[bucket_index(v)]);
+    bump(count_);
+    store_add(sum_, v);
+    if (count_.load(std::memory_order_relaxed) == 1 ||
+        v < min_.load(std::memory_order_relaxed)) {
+      min_.store(v, std::memory_order_relaxed);
+    }
+    if (v > max_.load(std::memory_order_relaxed)) {
+      max_.store(v, std::memory_order_relaxed);
+    }
+  }
+
+  /// Fold another histogram into this one (reader of `other`, writer of
+  /// `this`; callers serialize writes to `this`).
+  void merge(const Histogram& other) noexcept {
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+      store_add(buckets_[i], other.buckets_[i].load(std::memory_order_relaxed));
+    }
+    const std::uint64_t oc = other.count_.load(std::memory_order_relaxed);
+    if (oc == 0) return;
+    const std::uint64_t c0 = count_.load(std::memory_order_relaxed);
+    store_add(count_, oc);
+    store_add(sum_, other.sum_.load(std::memory_order_relaxed));
+    const std::uint64_t omin = other.min_.load(std::memory_order_relaxed);
+    const std::uint64_t omax = other.max_.load(std::memory_order_relaxed);
+    if (c0 == 0 || omin < min_.load(std::memory_order_relaxed)) {
+      min_.store(omin, std::memory_order_relaxed);
+    }
+    if (omax > max_.load(std::memory_order_relaxed)) {
+      max_.store(omax, std::memory_order_relaxed);
+    }
+  }
+
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t sum() const noexcept {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t min() const noexcept {
+    return count() ? min_.load(std::memory_order_relaxed) : 0;
+  }
+  [[nodiscard]] std::uint64_t max() const noexcept {
+    return max_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t bucket_count(std::size_t i) const noexcept {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+  /// Upper edge of the bucket containing quantile q (0..1]; 0 when empty.
+  [[nodiscard]] std::uint64_t quantile(double q) const noexcept {
+    const std::uint64_t total = count();
+    if (total == 0) return 0;
+    const double target = q * static_cast<double>(total);
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+      cum += bucket_count(i);
+      if (static_cast<double>(cum) >= target && cum > 0) {
+        return std::min(bucket_upper(i), max());
+      }
+    }
+    return max();
+  }
+
+ private:
+  static void bump(std::atomic<std::uint64_t>& c) noexcept {
+    c.store(c.load(std::memory_order_relaxed) + 1, std::memory_order_relaxed);
+  }
+  static void store_add(std::atomic<std::uint64_t>& c,
+                        std::uint64_t d) noexcept {
+    c.store(c.load(std::memory_order_relaxed) + d, std::memory_order_relaxed);
+  }
+
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> min_{0};
+  std::atomic<std::uint64_t> max_{0};
+};
+
+}  // namespace telemetry

@@ -1,0 +1,140 @@
+#include "telemetry/openmetrics.hpp"
+
+#include <cstdio>
+#include <ostream>
+
+namespace telemetry {
+
+namespace {
+
+// Locale-independent shortest-ish double formatting for sample values and
+// `le` labels.
+std::string fmt(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  return buf;
+}
+
+void counter(std::ostream& os, const char* name, const char* help,
+             std::uint64_t value) {
+  os << "# TYPE " << name << " counter\n";
+  os << "# HELP " << name << ' ' << help << '\n';
+  os << name << "_total " << value << '\n';
+}
+
+void gauge(std::ostream& os, const char* name, const char* help,
+           double value) {
+  os << "# TYPE " << name << " gauge\n";
+  os << "# HELP " << name << ' ' << help << '\n';
+  os << name << ' ' << fmt(value) << '\n';
+}
+
+/// Emit one histogram family. `scale` converts stored ticks to the
+/// exposition unit (1e-9 for ns -> seconds, 1 for bytes). Only non-empty
+/// buckets get a line — the bucket grid is fixed and fine-grained, so
+/// emitting all ~500 per family would be noise; cumulative counts stay
+/// correct because each emitted bucket carries the running total.
+void histogram(std::ostream& os, const char* name, const char* help,
+               const Histogram& h, double scale) {
+  os << "# TYPE " << name << " histogram\n";
+  os << "# HELP " << name << ' ' << help << '\n';
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+    const std::uint64_t c = h.bucket_count(i);
+    if (c == 0) continue;
+    cum += c;
+    const double le =
+        static_cast<double>(Histogram::bucket_upper(i)) * scale;
+    os << name << "_bucket{le=\"" << fmt(le) << "\"} " << cum << '\n';
+  }
+  os << name << "_bucket{le=\"+Inf\"} " << h.count() << '\n';
+  os << name << "_sum " << fmt(static_cast<double>(h.sum()) * scale) << '\n';
+  os << name << "_count " << h.count() << '\n';
+}
+
+}  // namespace
+
+void write_openmetrics(std::ostream& os, const MetricsSnapshot& snap) {
+  gauge(os, "mpl_ranks", "Simulated processes in the run.",
+        static_cast<double>(snap.nprocs));
+
+  counter(os, "mpl_msgs_sent", "Messages sent across all ranks.",
+          snap.msgs_sent);
+  counter(os, "mpl_bytes_sent", "Payload bytes sent across all ranks.",
+          snap.bytes_sent);
+  counter(os, "mpl_msgs_recv", "Messages received across all ranks.",
+          snap.msgs_recv);
+  counter(os, "mpl_bytes_recv", "Payload bytes received across all ranks.",
+          snap.bytes_recv);
+  counter(os, "mpl_waits", "Blocking request waits that actually parked.",
+          snap.waits);
+  counter(os, "mpl_collectives", "Neighborhood schedule executions.",
+          snap.collectives);
+  counter(os, "mpl_fault_retries",
+          "Retransmits forced by injected message drops.",
+          snap.fault_retries);
+  counter(os, "mpl_fault_delays", "Messages given injected delay jitter.",
+          snap.fault_delays);
+
+  counter(os, "mpl_pool_hits", "Buffer-pool freelist hits.", snap.pool.hits);
+  counter(os, "mpl_pool_misses", "Buffer-pool freelist misses (allocations).",
+          snap.pool.misses);
+  counter(os, "mpl_pool_recycled", "Buffers returned to the pool.",
+          snap.pool.recycled);
+  counter(os, "mpl_pool_dropped",
+          "Buffers dropped instead of recycled (cap or shutdown).",
+          snap.pool.dropped);
+  counter(os, "mpl_pool_forced_misses",
+          "Fault-injected forced freelist misses.", snap.pool.forced_misses);
+  gauge(os, "mpl_pool_free_buffers",
+        "Pooled buffers currently free (summed across ranks).",
+        static_cast<double>(snap.pool.free_now));
+  gauge(os, "mpl_pool_free_buffers_watermark",
+        "Highest per-rank freelist depth observed (pool occupancy watermark).",
+        static_cast<double>(snap.pool.free_watermark));
+
+  os << "# TYPE mpl_lock_acquisitions counter\n";
+  os << "# HELP mpl_lock_acquisitions Tracked mutex acquisitions by lock "
+        "level.\n";
+  for (int l = 0; l < kMaxLockLevels; ++l) {
+    if (snap.contention.acquisitions[l] == 0) continue;
+    os << "mpl_lock_acquisitions_total{level=\"" << lock_level_name(l)
+       << "\"} " << snap.contention.acquisitions[l] << '\n';
+  }
+  os << "# TYPE mpl_lock_contended counter\n";
+  os << "# HELP mpl_lock_contended Acquisitions that blocked (try_lock "
+        "failed) by lock level.\n";
+  for (int l = 0; l < kMaxLockLevels; ++l) {
+    if (snap.contention.acquisitions[l] == 0) continue;
+    os << "mpl_lock_contended_total{level=\"" << lock_level_name(l) << "\"} "
+       << snap.contention.contended[l] << '\n';
+  }
+  os << "# TYPE mpl_lock_blocked_seconds counter\n";
+  os << "# HELP mpl_lock_blocked_seconds Cumulative time spent blocked on "
+        "tracked mutexes by lock level.\n";
+  for (int l = 0; l < kMaxLockLevels; ++l) {
+    if (snap.contention.acquisitions[l] == 0) continue;
+    os << "mpl_lock_blocked_seconds_total{level=\"" << lock_level_name(l)
+       << "\"} " << fmt(static_cast<double>(snap.contention.blocked_ns[l]) * 1e-9)
+       << '\n';
+  }
+
+  histogram(os, "mpl_collective_latency_seconds",
+            "Wall latency of one neighborhood collective execution.",
+            snap.collective_ns, 1e-9);
+  histogram(os, "mpl_wait_block_seconds",
+            "Wall time a blocking request wait spent parked.",
+            snap.wait_block_ns, 1e-9);
+  histogram(os, "mpl_message_size_bytes", "Payload size of sent messages.",
+            snap.msg_bytes, 1.0);
+
+  for (const auto& [name, value] : snap.extra_gauges) {
+    const std::string full = "mpl_" + name;
+    os << "# TYPE " << full << " gauge\n";
+    os << full << ' ' << fmt(value) << '\n';
+  }
+
+  os << "# EOF\n";
+}
+
+}  // namespace telemetry

@@ -34,6 +34,7 @@ const char* event_kind_name(EventKind k) noexcept {
     case EventKind::section_begin: return "section_begin";
     case EventKind::section_end: return "section_end";
     case EventKind::fault_retry: return "fault_retry";
+    case EventKind::wait_block: return "wait_block";
   }
   return "?";
 }

@@ -75,6 +75,7 @@ enum class EventKind : std::uint8_t {
   section_begin,  ///< start of a named trace section (one collective run)
   section_end,
   fault_retry,    ///< injected drop: one retransmit backoff charge
+  wait_block,     ///< blocking wait parked: wall span, zero modeled cost
 };
 
 const char* event_kind_name(EventKind k) noexcept;

@@ -19,11 +19,13 @@ A metrics dump (--metrics / MPL_METRICS, "kind": "mpl-metrics") produces:
     metrics_per_phase.csv - per-rank, per-schedule-phase message/byte columns
     metrics_msg_sizes.csv - per-rank message size histogram
 A schedule summary (BENCH_schedule.json, "kind": "bench-schedule") produces:
-    bench_schedule.csv    - bench, d, n, m, variant, seconds
+    bench_schedule.csv    - bench, d, n, m, variant, seconds, min, median,
+                            stddev
 A transport summary (BENCH_transport.json, "kind": "bench-transport")
 produces:
-    bench_transport.csv   - workload, p, messages, bytes, seconds,
-                            msgs_per_sec, mb_per_sec
+    bench_transport.csv   - workload, p, messages, bytes, seconds, min,
+                            median, stddev, msgs_per_sec, mb_per_sec,
+                            telemetry
 Unrecognized text sections are ignored, so the script keeps working when new
 benchmarks are added.
 """
@@ -138,21 +140,30 @@ def convert_metrics(doc, out):
 
 def convert_bench_schedule(doc, out):
     """CSV from a "bench-schedule" summary (BENCH_schedule.json)."""
+    # Dispersion columns (min/median/stddev) appeared with the perf-gate
+    # work; old dumps lack them and default to the headline seconds / 0.
     rows = [[r.get("bench"), r.get("d"), r.get("n"), r.get("m"),
-             r.get("variant"), r.get("seconds")]
+             r.get("variant"), r.get("seconds"),
+             r.get("min", r.get("seconds")),
+             r.get("median", r.get("seconds")), r.get("stddev", 0.0)]
             for r in doc.get("results", [])]
     write_csv(os.path.join(out, "bench_schedule.csv"),
-              ["bench", "d", "n", "m", "variant", "seconds"], rows)
+              ["bench", "d", "n", "m", "variant", "seconds", "min", "median",
+               "stddev"], rows)
 
 
 def convert_bench_transport(doc, out):
     """CSV from a "bench-transport" summary (BENCH_transport.json)."""
+    telemetry = 1 if doc.get("telemetry") else 0
     rows = [[r.get("workload"), r.get("p"), r.get("messages"), r.get("bytes"),
-             r.get("seconds"), r.get("msgs_per_sec"), r.get("mb_per_sec")]
+             r.get("seconds"), r.get("min", r.get("seconds")),
+             r.get("median", r.get("seconds")), r.get("stddev", 0.0),
+             r.get("msgs_per_sec"), r.get("mb_per_sec"), telemetry]
             for r in doc.get("results", [])]
     write_csv(os.path.join(out, "bench_transport.csv"),
-              ["workload", "p", "messages", "bytes", "seconds",
-               "msgs_per_sec", "mb_per_sec"], rows)
+              ["workload", "p", "messages", "bytes", "seconds", "min",
+               "median", "stddev", "msgs_per_sec", "mb_per_sec",
+               "telemetry"], rows)
 
 
 def try_json(text):

@@ -28,6 +28,10 @@ EVENT_KINDS = {
     "section_begin",
     "section_end",
     "fault_retry",
+    # Blocking-wait marker: wall span only, zero modeled cost (the virtual
+    # clock does not advance while parked), so the component-sum rule for
+    # markers (components == 0) applies.
+    "wait_block",
 }
 
 

@@ -660,7 +660,7 @@ def main(argv: list[str]) -> int:
                     help="path to checked.hpp (default: <root>/src/mpl/checked.hpp)")
     ap.add_argument("--scan", action="append", default=None,
                     help="directory (relative to root) to scan; repeatable "
-                         "(default: src/mpl)")
+                         "(default: src/mpl plus src/telemetry when present)")
     ap.add_argument("--design", type=Path, default=None,
                     help="design document to cross-check (default: <root>/DESIGN.md)")
     ap.add_argument("--no-design", action="store_true",
@@ -684,7 +684,17 @@ def main(argv: list[str]) -> int:
     lint = Linter(hier, args.max_escapes)
     lint.check_hierarchy(str(checked.relative_to(root))
                          if checked.is_relative_to(root) else str(checked))
-    lint.scan_tree(root, args.scan or ["src/mpl"])
+    # Default scan set: the transport plus the telemetry layer, which is
+    # documented lock-free — scanning it proves no raw primitive sneaks in.
+    # Optional defaults are filtered to what exists so reduced trees (the
+    # lint's own test fixtures) stay lintable; explicit --scan dirs are
+    # passed through untouched and still error when missing.
+    if args.scan:
+        scan_dirs = args.scan
+    else:
+        scan_dirs = ["src/mpl"] + [d for d in ("src/telemetry",)
+                                   if (root / d).is_dir()]
+    lint.scan_tree(root, scan_dirs)
     lint.replay()
     lint.check_graph()
     lint.check_escape_cap()

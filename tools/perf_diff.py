@@ -1,0 +1,152 @@
+#!/usr/bin/env python3
+"""Noise-aware perf comparison of BENCH_transport.json dumps (CI perf gate).
+
+Two modes:
+
+Baseline diff (the default) — compare a fresh run against the checked-in
+baseline and fail on regression:
+
+    python3 tools/perf_diff.py --baseline bench/baselines/BENCH_transport.json \
+        --current BENCH_transport.json [--max-regression 0.35]
+
+  Per (workload, p) configuration the gate compares the current best-of-reps
+  seconds against the baseline's. A config regresses when
+
+      current.seconds > baseline.seconds * (1 + max_regression) + noise
+
+  where noise = 2 * max(baseline.stddev, current.stddev) absorbs
+  run-to-run jitter on loaded CI runners (old dumps without dispersion
+  columns get noise = 0). Improvements and new configs never fail; a config
+  present in the baseline but missing from the current run does.
+
+Overhead check — assert that a telemetry-armed run of one workload stays
+within a fractional budget of the telemetry-off run (the ISSUE's <5%
+criterion for fanin p=64):
+
+    python3 tools/perf_diff.py --overhead BENCH_off.json BENCH_telem.json \
+        --workload fanin --p 64 --max-overhead 0.05
+
+  The check uses each side's per-config *median*, not the best-of-reps
+  minimum: minima race to the same floor and hide steady overhead. The
+  same 2*stddev noise allowance applies on top of the budget.
+
+Exit status: 0 = within bounds, 1 = regression/overhead exceeded,
+2 = usage or malformed input. Stdlib only.
+"""
+
+import argparse
+import json
+import sys
+
+
+def fail(msg, code=2):
+    print(f"perf_diff: {msg}", file=sys.stderr)
+    sys.exit(code)
+
+
+def load(path):
+    try:
+        with open(path) as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{path}: {e}")
+    if not isinstance(doc, dict) or doc.get("kind") != "bench-transport":
+        fail(f"{path}: not a bench-transport dump")
+    out = {}
+    for r in doc.get("results", []):
+        key = (r.get("workload"), r.get("p"))
+        if None in key or not isinstance(r.get("seconds"), (int, float)):
+            fail(f"{path}: malformed result {r!r}")
+        r.setdefault("min", r["seconds"])
+        r.setdefault("median", r["seconds"])
+        r.setdefault("stddev", 0.0)
+        out[key] = r
+    if not out:
+        fail(f"{path}: no results")
+    return out
+
+
+def diff_mode(args):
+    base = load(args.baseline)
+    cur = load(args.current)
+    failures = []
+    for key in sorted(base, key=str):
+        workload, p = key
+        b = base[key]
+        c = cur.get(key)
+        if c is None:
+            failures.append(f"{workload} p={p}: missing from current run")
+            continue
+        noise = 2.0 * max(b["stddev"], c["stddev"])
+        limit = b["seconds"] * (1.0 + args.max_regression) + noise
+        delta = (c["seconds"] / b["seconds"] - 1.0) if b["seconds"] > 0 else 0.0
+        verdict = "FAIL" if c["seconds"] > limit else "ok"
+        print(f"{verdict:4s} {workload:9s} p={p:<4d} "
+              f"base={b['seconds']:.4g}s cur={c['seconds']:.4g}s "
+              f"({delta:+.1%} vs base, limit={limit:.4g}s)")
+        if verdict == "FAIL":
+            failures.append(
+                f"{workload} p={p}: {c['seconds']:.4g}s exceeds "
+                f"{limit:.4g}s ({delta:+.1%} vs baseline)")
+    for key in sorted(set(cur) - set(base), key=str):
+        print(f"new  {key[0]:9s} p={key[1]:<4d} (not in baseline, ignored)")
+    if failures:
+        print("perf_diff: regression detected:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        sys.exit(1)
+    print(f"perf_diff: {len(base)} configs within "
+          f"{args.max_regression:.0%} + noise")
+
+
+def overhead_mode(args):
+    off = load(args.overhead[0])
+    on = load(args.overhead[1])
+    key = (args.workload, args.p)
+    for name, side in (("off", off), ("telemetry", on)):
+        if key not in side:
+            fail(f"{args.workload} p={args.p} missing from {name} run")
+    b, c = off[key], on[key]
+    if b["median"] <= 0:
+        fail(f"non-positive baseline median for {args.workload} p={args.p}")
+    noise = 2.0 * max(b["stddev"], c["stddev"])
+    limit = b["median"] * (1.0 + args.max_overhead) + noise
+    overhead = c["median"] / b["median"] - 1.0
+    print(f"{args.workload} p={args.p}: off={b['median']:.4g}s "
+          f"telemetry={c['median']:.4g}s overhead={overhead:+.1%} "
+          f"(budget {args.max_overhead:.0%} + noise {noise:.4g}s)")
+    if c["median"] > limit:
+        print(f"perf_diff: telemetry overhead {overhead:.1%} exceeds "
+              f"{args.max_overhead:.0%} budget", file=sys.stderr)
+        sys.exit(1)
+    print("perf_diff: telemetry overhead within budget")
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="noise-aware BENCH_transport.json comparison")
+    ap.add_argument("--baseline", help="checked-in baseline dump")
+    ap.add_argument("--current", help="fresh dump to compare")
+    ap.add_argument("--max-regression", type=float, default=0.35,
+                    help="allowed fractional slowdown per config "
+                         "(default 0.35)")
+    ap.add_argument("--overhead", nargs=2, metavar=("OFF", "TELEM"),
+                    help="compare a telemetry-off and a telemetry-on dump")
+    ap.add_argument("--workload", default="fanin",
+                    help="workload for --overhead (default fanin)")
+    ap.add_argument("--p", type=int, default=64,
+                    help="rank count for --overhead (default 64)")
+    ap.add_argument("--max-overhead", type=float, default=0.05,
+                    help="allowed fractional telemetry overhead "
+                         "(default 0.05)")
+    args = ap.parse_args()
+    if args.overhead:
+        overhead_mode(args)
+    elif args.baseline and args.current:
+        diff_mode(args)
+    else:
+        ap.error("need either --baseline + --current or --overhead")
+
+
+if __name__ == "__main__":
+    main()
