@@ -13,6 +13,10 @@
 //   halo2d    2D 5-point persistent-schedule alltoall on a sqrt(p) x
 //             sqrt(p) torus (the schedule-executor path: derived
 //             datatypes, test/wait polling)
+//   planhit   the same halo exchange through the blocking non-persistent
+//             cartcomm::alltoall with a warm plan cache (the cache-hit
+//             fast path: bound-schedule reuse must stay comparable to
+//             the persistent handle above)
 //
 // Emits BENCH_transport.json ({"kind": "bench-transport"}) for
 // tools/bench_to_csv.py and the CI transport-bench smoke job.
@@ -26,6 +30,7 @@
 #include <vector>
 
 #include "cartcomm/cartcomm.hpp"
+#include "cartcomm/plan.hpp"
 #include "mpl/mpl.hpp"
 
 namespace {
@@ -208,6 +213,46 @@ Result run_halo2d(int p, int iters, int reps, const mpl::RunOptions& opts) {
   return res;
 }
 
+// -- 2D 5-point cache-hit non-persistent alltoall -----------------------------
+
+Result run_planhit(int p, int iters, int reps, const mpl::RunOptions& opts) {
+  int side = 1;
+  while ((side + 1) * (side + 1) <= p) ++side;
+  const int grid_p = side * side;
+  Result res;
+  res.workload = "planhit";
+  res.p = grid_p;
+  long long msgs = 0, bytes = 0;
+  std::vector<double> samples;
+  mpl::run(grid_p, [&](mpl::Comm& world) {
+    const std::vector<int> dims{side, side};
+    const auto nb = cartcomm::Neighborhood::von_neumann(2, false);
+    auto cc = cartcomm::cart_neighborhood_create(world, dims, {}, nb);
+    const int t = nb.count();
+    const int m = 32;  // ints per neighbor block
+    std::vector<int> sb(static_cast<std::size_t>(t) * m, world.rank());
+    std::vector<int> rb(static_cast<std::size_t>(t) * m, -1);
+    cartcomm::plan_cache_set_enabled(true);
+    for (int rep = -1; rep < reps; ++rep) {
+      const double tsec = timed_region(world, [&] {
+        for (int i = 0; i < iters; ++i) {
+          cartcomm::alltoall(sb.data(), m, kInt, rb.data(), m, kInt, cc,
+                             cartcomm::Algorithm::combining);
+        }
+      });
+      if (world.rank() == 0 && rep >= 0) samples.push_back(tsec);
+    }
+    if (world.rank() == 0) {
+      msgs = static_cast<long long>(grid_p) * t * iters;
+      bytes = msgs * m * static_cast<long long>(sizeof(int));
+    }
+  }, opts);
+  res.messages = msgs;
+  res.bytes = bytes;
+  res.set_samples(std::move(samples));
+  return res;
+}
+
 // -- driver -------------------------------------------------------------------
 
 bool write_json(const std::string& path, const std::vector<Result>& results,
@@ -306,6 +351,8 @@ int main(int argc, char** argv) {
       batch.push_back(run_pingpong(p, pingpong_iters, reps, opts));
     if (want("fanin")) batch.push_back(run_fanin(p, fanin_iters, reps, opts));
     if (want("halo2d")) batch.push_back(run_halo2d(p, halo_iters, reps, opts));
+    if (want("planhit"))
+      batch.push_back(run_planhit(p, halo_iters, reps, opts));
     for (const Result& r : batch) {
       std::printf("p=%4d %-9s %10lld msgs in %8.3f s  -> %12.0f msgs/s, "
                   "%8.1f MB/s\n",

@@ -13,11 +13,16 @@
 // coordinates zero), or in a dedicated temp slot. Duplicated terminating
 // members are served by local copies in the final phase, as is the zero
 // vector (copied from the send buffer).
+//
+// The walk below runs in the *compile* step and records an abstract
+// placement program (CompiledPlan); build_allgather_schedule routes it
+// through the plan cache and binds the program to the caller's buffers.
 #include <algorithm>
 #include <numeric>
 #include <vector>
 
 #include "cartcomm/build_schedule.hpp"
+#include "cartcomm/plan.hpp"
 #include "cartcomm/tree.hpp"
 #include "mpl/error.hpp"
 
@@ -34,23 +39,13 @@ struct Storage {
 
 }  // namespace
 
-Schedule build_allgather_schedule(const CartNeighborComm& cc,
-                                  const SendBlock& send,
-                                  std::span<const RecvBlock> recvs,
-                                  DimOrder order) {
+CompiledPlan compile_allgather_plan(const CartNeighborComm& cc,
+                                    std::size_t block_bytes, DimOrder order) {
   const Neighborhood& nb = cc.neighborhood();
   const mpl::CartGrid& grid = cc.grid();
   const std::span<const int> R = cc.coords();
-  const int t = nb.count();
   const int d = nb.ndims();
-  MPL_REQUIRE(recvs.size() == static_cast<std::size_t>(t),
-              "allgather schedule: one receive block per neighbor");
-  const std::size_t m = send.bytes();
-  for (int i = 0; i < t; ++i) {
-    MPL_REQUIRE(recvs[static_cast<std::size_t>(i)].bytes() == m,
-                "allgather schedule: receive block size must equal the send "
-                "block size (neighbor " + std::to_string(i) + ")");
-  }
+  const std::size_t m = block_bytes;
 
   const std::vector<int> perm = dimension_order(nb, order);
   const detail::AllgatherTree tree = detail::build_tree(nb, perm);
@@ -97,20 +92,23 @@ Schedule build_allgather_schedule(const CartNeighborComm& cc,
     }
   }
 
-  ScheduleBuilder builder;
-  builder.set_grid(grid);
-  std::byte* temp =
-      builder.allocate_temp(static_cast<std::size_t>(temp_slots) * m);
+  PlanBuilder builder;
+  builder.allocate_temp(static_cast<std::size_t>(temp_slots) * m);
 
-  auto append_storage = [&](mpl::TypeBuilder& tb, const Storage& s) {
+  auto placement = [&](const Storage& s) {
+    PlanPlacement p;
     if (s.is_recv) {
-      const std::size_t ui = static_cast<std::size_t>(s.recv_slot);
-      tb.append(recvs[ui].addr, recvs[ui].count, recvs[ui].type);
+      p.kind = PlanPlacement::Kind::recv_block;
+      p.index = s.recv_slot;
     } else if (s.temp_slot < 0) {
-      tb.append(send.addr, send.count, send.type);
+      p.kind = PlanPlacement::Kind::send_block;
+      p.index = 0;  // the single send block
     } else {
-      tb.append_bytes(temp + static_cast<std::size_t>(s.temp_slot) * m, m);
+      p.kind = PlanPlacement::Kind::temp;
+      p.offset = static_cast<std::size_t>(s.temp_slot) * m;
+      p.bytes = m;
     }
+    return p;
   };
 
   auto dim_ok = [&](int j, int delta) {
@@ -136,33 +134,26 @@ Schedule build_allgather_schedule(const CartNeighborComm& cc,
       const int c = evec[s].coordinate;
       std::size_t e = s;
       while (e < evec.size() && evec[e].coordinate == c) ++e;
-      mpl::TypeBuilder sb, rb;
-      long long nsent = 0;
+      PlanRound round;
       for (std::size_t q = s; q < e; ++q) {
         const detail::TreeNode& parent =
             tree.levels[level][static_cast<std::size_t>(evec[q].parent)];
         const detail::TreeNode& child =
             tree.levels[level + 1][static_cast<std::size_t>(evec[q].child)];
         if (origin_valid(parent.path)) {
-          append_storage(sb, storage[level][static_cast<std::size_t>(evec[q].parent)]);
-          ++nsent;
+          round.send_items.push_back(placement(
+              storage[level][static_cast<std::size_t>(evec[q].parent)]));
+          ++round.blocks_sent;
         }
         if (origin_valid(child.path)) {
-          append_storage(rb, storage[level + 1][static_cast<std::size_t>(evec[q].child)]);
+          round.recv_items.push_back(placement(
+              storage[level + 1][static_cast<std::size_t>(evec[q].child)]));
         }
       }
       offv[static_cast<std::size_t>(k)] = c;
-      const int sendrank = grid.rank_at_offset(R, offv);
-      const std::vector<int> round_offset = offv;
-      offv[static_cast<std::size_t>(k)] = -c;
-      const int recvrank = grid.rank_at_offset(R, offv);
+      round.offset = offv;
       offv[static_cast<std::size_t>(k)] = 0;
-      // rank_at_offset yields PROC_NULL exactly when the offset leaves a
-      // non-periodic mesh, so a null partner here is a provable boundary.
-      builder.add_round({sendrank, recvrank, sb.build(), rb.build(),
-                         round_offset, sendrank == mpl::PROC_NULL,
-                         recvrank == mpl::PROC_NULL},
-                        nsent);
+      builder.add_round(std::move(round));
       s = e;
     }
     builder.end_phase();
@@ -177,14 +168,65 @@ Schedule build_allgather_schedule(const CartNeighborComm& cc,
     const Storage& s = storage.back()[v];
     for (int i : leaf.members) {
       if (s.is_recv && s.recv_slot == i) continue;
-      mpl::TypeBuilder sb, rb;
-      append_storage(sb, s);
-      const std::size_t ui = static_cast<std::size_t>(i);
-      rb.append(recvs[ui].addr, recvs[ui].count, recvs[ui].type);
-      builder.add_copy(sb.build(), rb.build());
+      PlanPlacement dst;
+      dst.kind = PlanPlacement::Kind::recv_block;
+      dst.index = i;
+      builder.add_copy(placement(s), dst);
     }
   }
   return builder.finish();
+}
+
+namespace {
+
+PlanKey allgather_key_checked(const CartNeighborComm& cc,
+                              const SendBlock& send,
+                              std::span<const RecvBlock> recvs,
+                              DimOrder order) {
+  const int t = cc.neighborhood().count();
+  MPL_REQUIRE(recvs.size() == static_cast<std::size_t>(t),
+              "allgather schedule: one receive block per neighbor");
+  const std::size_t m = send.bytes();
+  for (int i = 0; i < t; ++i) {
+    MPL_REQUIRE(recvs[static_cast<std::size_t>(i)].bytes() == m,
+                "allgather schedule: receive block size must equal the send "
+                "block size (neighbor " + std::to_string(i) + ")");
+  }
+  return make_allgather_key(cc, send, recvs, order);
+}
+
+std::shared_ptr<const CompiledPlan> allgather_plan(const CartNeighborComm& cc,
+                                                   std::size_t m,
+                                                   DimOrder order,
+                                                   const PlanKey& key) {
+  std::shared_ptr<const CompiledPlan> plan = plan_cache_lookup(key);
+  if (plan) return plan;
+  return plan_cache_store(key, compile_allgather_plan(cc, m, order));
+}
+
+}  // namespace
+
+Schedule build_allgather_schedule(const CartNeighborComm& cc,
+                                  const SendBlock& send,
+                                  std::span<const RecvBlock> recvs,
+                                  DimOrder order) {
+  const PlanKey key = allgather_key_checked(cc, send, recvs, order);
+  const SendBlock sends[1] = {send};
+  return allgather_plan(cc, send.bytes(), order, key)->bind(cc, sends, recvs);
+}
+
+std::shared_ptr<BoundSchedule> build_allgather_schedule_shared(
+    const CartNeighborComm& cc, const SendBlock& send,
+    std::span<const RecvBlock> recvs, DimOrder order) {
+  const PlanKey key = allgather_key_checked(cc, send, recvs, order);
+  const SendBlock sends[1] = {send};
+  const PlanKey bkey = make_bound_key(key, cc.comm().rank(), sends, recvs);
+  if (std::shared_ptr<BoundSchedule> s = schedule_cache_lookup(bkey)) {
+    return s;
+  }
+  return schedule_cache_store(
+      bkey,
+      allgather_plan(cc, send.bytes(), order, key)->bind(cc, sends, recvs));
 }
 
 }  // namespace cartcomm

@@ -15,10 +15,15 @@
 // receive-buffer leg of the alternation is only used when this process'
 // own source for that index exists (so receive buffers of PROC_NULL
 // sources are never scribbled on); a second temp slot substitutes.
+//
+// The walk below runs in the *compile* step and records an abstract
+// placement program (CompiledPlan); build_alltoall_schedule routes it
+// through the plan cache and binds the program to the caller's buffers.
 #include <numeric>
 #include <vector>
 
 #include "cartcomm/build_schedule.hpp"
+#include "cartcomm/plan.hpp"
 #include "mpl/error.hpp"
 
 namespace cartcomm {
@@ -30,52 +35,40 @@ enum class Loc { sendbuf, temp_a, temp_b, recvbuf };
 
 }  // namespace
 
-Schedule build_alltoall_schedule(const CartNeighborComm& cc,
-                                 std::span<const SendBlock> sends,
-                                 std::span<const RecvBlock> recvs) {
+CompiledPlan compile_alltoall_plan(const CartNeighborComm& cc,
+                                   std::span<const std::size_t> block_bytes) {
   const Neighborhood& nb = cc.neighborhood();
   const mpl::CartGrid& grid = cc.grid();
   const std::span<const int> R = cc.coords();
   const int t = nb.count();
   const int d = nb.ndims();
-  MPL_REQUIRE(sends.size() == static_cast<std::size_t>(t) &&
-                  recvs.size() == static_cast<std::size_t>(t),
-              "alltoall schedule: one send and one receive block per neighbor");
+  const std::span<const std::size_t> bytes = block_bytes;
 
-  std::vector<std::size_t> bytes(static_cast<std::size_t>(t));
   std::vector<int> z(static_cast<std::size_t>(t));
-  for (int i = 0; i < t; ++i) {
-    bytes[static_cast<std::size_t>(i)] = sends[static_cast<std::size_t>(i)].bytes();
-    MPL_REQUIRE(bytes[static_cast<std::size_t>(i)] ==
-                    recvs[static_cast<std::size_t>(i)].bytes(),
-                "alltoall schedule: send/receive block size mismatch for "
-                "neighbor " + std::to_string(i));
-    z[static_cast<std::size_t>(i)] = nb.nonzeros(i);
-  }
+  for (int i = 0; i < t; ++i) z[static_cast<std::size_t>(i)] = nb.nonzeros(i);
 
   // Whether this process' own source / target for index i exists (always
-  // true on tori; PROC_NULL filtering on non-periodic meshes).
+  // true on tori; PROC_NULL filtering on non-periodic meshes). A source's
+  // PROC_NULL-ness is a function of the boundary signature, so reading it
+  // here keeps the compile step pure in the cache key.
   const std::span<const int> source_rank = cc.source_ranks();
 
   // Temp slot offsets: slot A for every multi-hop block, slot B only for
   // multi-hop blocks that may not use their receive slot for parking.
-  ScheduleBuilder builder;
+  PlanBuilder builder;
   std::vector<std::size_t> off_a(static_cast<std::size_t>(t), 0);
   std::vector<std::size_t> off_b(static_cast<std::size_t>(t), 0);
-  std::size_t total = 0;
   for (int i = 0; i < t; ++i) {
     if (z[static_cast<std::size_t>(i)] >= 2) {
-      off_a[static_cast<std::size_t>(i)] = total;
-      total += bytes[static_cast<std::size_t>(i)];
+      off_a[static_cast<std::size_t>(i)] =
+          builder.allocate_temp(bytes[static_cast<std::size_t>(i)]);
     }
     if (z[static_cast<std::size_t>(i)] >= 3 &&
         source_rank[static_cast<std::size_t>(i)] == mpl::PROC_NULL) {
-      off_b[static_cast<std::size_t>(i)] = total;
-      total += bytes[static_cast<std::size_t>(i)];
+      off_b[static_cast<std::size_t>(i)] =
+          builder.allocate_temp(bytes[static_cast<std::size_t>(i)]);
     }
   }
-  builder.set_grid(grid);
-  std::byte* temp = builder.allocate_temp(total);
 
   // Per-coordinate boundary check: is R[j] + delta on the mesh?
   auto dim_ok = [&](int j, int delta) {
@@ -100,22 +93,30 @@ Schedule build_alltoall_schedule(const CartNeighborComm& cc,
     return true;
   };
 
-  auto append_loc = [&](mpl::TypeBuilder& tb, Loc loc, int i) {
+  auto placement = [&](Loc loc, int i) {
     const std::size_t ui = static_cast<std::size_t>(i);
+    PlanPlacement p;
     switch (loc) {
       case Loc::sendbuf:
-        tb.append(sends[ui].addr, sends[ui].count, sends[ui].type);
+        p.kind = PlanPlacement::Kind::send_block;
+        p.index = i;
         break;
       case Loc::recvbuf:
-        tb.append(recvs[ui].addr, recvs[ui].count, recvs[ui].type);
+        p.kind = PlanPlacement::Kind::recv_block;
+        p.index = i;
         break;
       case Loc::temp_a:
-        tb.append_bytes(temp + off_a[ui], bytes[ui]);
+        p.kind = PlanPlacement::Kind::temp;
+        p.offset = off_a[ui];
+        p.bytes = bytes[ui];
         break;
       case Loc::temp_b:
-        tb.append_bytes(temp + off_b[ui], bytes[ui]);
+        p.kind = PlanPlacement::Kind::temp;
+        p.offset = off_b[ui];
+        p.bytes = bytes[ui];
         break;
     }
+    return p;
   };
 
   std::vector<int> hops_done(static_cast<std::size_t>(t), 0);
@@ -133,15 +134,14 @@ Schedule build_alltoall_schedule(const CartNeighborComm& cc,
         s = e;
         continue;  // blocks that do not move in this dimension
       }
-      mpl::TypeBuilder sb, rb;
-      long long nsent = 0;
+      PlanRound round;
       for (std::size_t q = s; q < e; ++q) {
         const int i = order[q];
         const std::size_t ui = static_cast<std::size_t>(i);
         const int remaining_after = z[ui] - hops_done[ui] - 1;
         if (sender_valid(i, k)) {
-          append_loc(sb, cur[ui], i);
-          ++nsent;
+          round.send_items.push_back(placement(cur[ui], i));
+          ++round.blocks_sent;
         }
         // Choose the parking location for the incoming instance: final
         // arrivals go to the receive slot; intermediates alternate between
@@ -155,22 +155,16 @@ Schedule build_alltoall_schedule(const CartNeighborComm& cc,
         } else {
           next = (remaining_after % 2 == 1) ? Loc::temp_a : Loc::temp_b;
         }
-        if (receiver_valid(i, k)) append_loc(rb, next, i);
+        if (receiver_valid(i, k)) {
+          round.recv_items.push_back(placement(next, i));
+        }
         cur[ui] = next;
         ++hops_done[ui];
       }
       offv[static_cast<std::size_t>(k)] = c;
-      const int sendrank = grid.rank_at_offset(R, offv);
-      const std::vector<int> round_offset = offv;
-      offv[static_cast<std::size_t>(k)] = -c;
-      const int recvrank = grid.rank_at_offset(R, offv);
+      round.offset = offv;
       offv[static_cast<std::size_t>(k)] = 0;
-      // rank_at_offset yields PROC_NULL exactly when the offset leaves a
-      // non-periodic mesh, so a null partner here is a provable boundary.
-      builder.add_round({sendrank, recvrank, sb.build(), rb.build(),
-                         round_offset, sendrank == mpl::PROC_NULL,
-                         recvrank == mpl::PROC_NULL},
-                        nsent);
+      builder.add_round(std::move(round));
       s = e;
     }
     builder.end_phase();
@@ -178,14 +172,61 @@ Schedule build_alltoall_schedule(const CartNeighborComm& cc,
 
   // Extra non-communication phase: the self blocks (zero vectors).
   for (int i = 0; i < t; ++i) {
-    const std::size_t ui = static_cast<std::size_t>(i);
-    if (z[ui] != 0) continue;
-    mpl::TypeBuilder sb, rb;
-    sb.append(sends[ui].addr, sends[ui].count, sends[ui].type);
-    rb.append(recvs[ui].addr, recvs[ui].count, recvs[ui].type);
-    builder.add_copy(sb.build(), rb.build());
+    if (z[static_cast<std::size_t>(i)] != 0) continue;
+    builder.add_copy(placement(Loc::sendbuf, i), placement(Loc::recvbuf, i));
   }
   return builder.finish();
+}
+
+namespace {
+
+/// Shared front half of both entry points: validate the descriptors and
+/// resolve the compiled plan through the cache.
+std::shared_ptr<const CompiledPlan> alltoall_plan(
+    const CartNeighborComm& cc, std::span<const SendBlock> sends,
+    std::span<const RecvBlock> recvs, const PlanKey& key) {
+  std::shared_ptr<const CompiledPlan> plan = plan_cache_lookup(key);
+  if (plan) return plan;
+  std::vector<std::size_t> bytes(sends.size());
+  for (std::size_t i = 0; i < sends.size(); ++i) bytes[i] = sends[i].bytes();
+  return plan_cache_store(key, compile_alltoall_plan(cc, bytes));
+}
+
+PlanKey alltoall_key_checked(const CartNeighborComm& cc,
+                             std::span<const SendBlock> sends,
+                             std::span<const RecvBlock> recvs) {
+  const int t = cc.neighborhood().count();
+  MPL_REQUIRE(sends.size() == static_cast<std::size_t>(t) &&
+                  recvs.size() == static_cast<std::size_t>(t),
+              "alltoall schedule: one send and one receive block per neighbor");
+  for (int i = 0; i < t; ++i) {
+    MPL_REQUIRE(sends[static_cast<std::size_t>(i)].bytes() ==
+                    recvs[static_cast<std::size_t>(i)].bytes(),
+                "alltoall schedule: send/receive block size mismatch for "
+                "neighbor " + std::to_string(i));
+  }
+  return make_alltoall_key(cc, sends, recvs);
+}
+
+}  // namespace
+
+Schedule build_alltoall_schedule(const CartNeighborComm& cc,
+                                 std::span<const SendBlock> sends,
+                                 std::span<const RecvBlock> recvs) {
+  const PlanKey key = alltoall_key_checked(cc, sends, recvs);
+  return alltoall_plan(cc, sends, recvs, key)->bind(cc, sends, recvs);
+}
+
+std::shared_ptr<BoundSchedule> build_alltoall_schedule_shared(
+    const CartNeighborComm& cc, std::span<const SendBlock> sends,
+    std::span<const RecvBlock> recvs) {
+  const PlanKey key = alltoall_key_checked(cc, sends, recvs);
+  const PlanKey bkey = make_bound_key(key, cc.comm().rank(), sends, recvs);
+  if (std::shared_ptr<BoundSchedule> s = schedule_cache_lookup(bkey)) {
+    return s;
+  }
+  return schedule_cache_store(
+      bkey, alltoall_plan(cc, sends, recvs, key)->bind(cc, sends, recvs));
 }
 
 }  // namespace cartcomm

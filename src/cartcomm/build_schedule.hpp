@@ -1,11 +1,20 @@
 // Message-combining schedule construction (Algorithms 1 and 2).
+//
+// Both builders are split into a rank-independent *compile* step and a
+// per-call *bind* step (see plan.hpp): the entry points below validate
+// their arguments, consult the process-global compiled-plan cache keyed
+// on the canonical neighborhood signature, compile on a miss, and bind
+// the (possibly cached) plan to the caller's buffers. The resulting
+// Schedule is bit-identical to one built directly.
 #pragma once
 
+#include <memory>
 #include <span>
 
 #include "cartcomm/analysis.hpp"
 #include "cartcomm/blocks.hpp"
 #include "cartcomm/cart_comm.hpp"
+#include "cartcomm/plan.hpp"
 #include "cartcomm/schedule.hpp"
 
 namespace cartcomm {
@@ -31,5 +40,19 @@ Schedule build_allgather_schedule(const CartNeighborComm& cc,
                                   const SendBlock& send,
                                   std::span<const RecvBlock> recvs,
                                   DimOrder order = DimOrder::increasing_ck);
+
+/// One-shot variants for the blocking non-persistent collectives: return a
+/// shared Schedule served from the bound-schedule cache (plan + rank +
+/// block addresses; see plan.hpp) when possible, so a repeated call with
+/// the same buffers skips both compilation and datatype binding. The
+/// returned schedule is bit-identical to the by-value builders'.
+[[nodiscard]] std::shared_ptr<BoundSchedule> build_alltoall_schedule_shared(
+    const CartNeighborComm& cc, std::span<const SendBlock> sends,
+    std::span<const RecvBlock> recvs);
+
+[[nodiscard]] std::shared_ptr<BoundSchedule> build_allgather_schedule_shared(
+    const CartNeighborComm& cc, const SendBlock& send,
+    std::span<const RecvBlock> recvs,
+    DimOrder order = DimOrder::increasing_ck);
 
 }  // namespace cartcomm

@@ -1,6 +1,7 @@
 #include "cartcomm/cart_comm.hpp"
 
 #include <algorithm>
+#include <atomic>
 
 #include "mpl/collectives.hpp"
 #include "mpl/error.hpp"
@@ -94,6 +95,11 @@ CartNeighborComm CartNeighborComm::with_neighborhood(Neighborhood sub) const {
   return cc;
 }
 
+std::uint64_t CartNeighborComm::next_uid() noexcept {
+  static std::atomic<std::uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
 Algorithm CartNeighborComm::resolve_alltoall(Algorithm requested,
                                              std::size_t block_bytes) const {
   if (requested == Algorithm::automatic) requested = a2a_alg_;  // Info default
@@ -117,6 +123,24 @@ Algorithm CartNeighborComm::resolve_allgather(Algorithm requested) const {
   // it saves rounds.
   return stats_.combining_rounds < stats_.trivial_rounds ? Algorithm::combining
                                                          : Algorithm::trivial;
+}
+
+std::vector<int> CartNeighborComm::boundary_signature() const {
+  const mpl::CartGrid& g = grid();
+  const std::span<const int> R = coords();
+  const int d = nb_.ndims();
+  std::vector<int> sig(static_cast<std::size_t>(d) * 2, -1);
+  for (int j = 0; j < d; ++j) {
+    if (g.periodic(j)) continue;  // (-1, -1): position is irrelevant
+    int reach = 0;
+    for (int i = 0; i < nb_.count(); ++i) {
+      reach = std::max(reach, std::abs(nb_.coord(i, j)));
+    }
+    const std::size_t uj = static_cast<std::size_t>(j);
+    sig[uj * 2] = std::min(R[uj], reach);
+    sig[uj * 2 + 1] = std::min(g.dims()[uj] - 1 - R[uj], reach);
+  }
+  return sig;
 }
 
 CartNeighborComm cart_neighborhood_create(const mpl::Comm& comm,

@@ -2,6 +2,7 @@
 // helper/query functionality (Listing 2).
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <optional>
 #include <span>
@@ -47,6 +48,11 @@ class CartNeighborComm {
     return cart_.coords();
   }
   [[nodiscard]] std::span<const int> weights() const noexcept { return weights_; }
+
+  /// Process-unique identity of this communicator object, shared by its
+  /// copies. Lets per-thread caches detect that a pointer-equal object is
+  /// actually a different communicator (allocator address reuse).
+  [[nodiscard]] std::uint64_t uid() const noexcept { return uid_; }
 
   // -- Listing 2 helpers -----------------------------------------------------
 
@@ -106,6 +112,18 @@ class CartNeighborComm {
                                            std::size_t block_bytes) const;
   [[nodiscard]] Algorithm resolve_allgather(Algorithm requested) const;
 
+  /// Boundary signature used by the compiled-plan cache key: two values
+  /// per dimension. Periodic dimensions contribute (-1, -1) (position
+  /// never matters on a torus); non-periodic dimensions contribute this
+  /// process' distance to the low and high mesh edge, each clamped to the
+  /// neighborhood's reach in that dimension (max |offset coordinate|).
+  /// Every position-dependent predicate in the schedule builders tests
+  /// whether R[j] + delta stays on the mesh for some |delta| <= reach_j,
+  /// which is a function of exactly these clamped distances — so two
+  /// processes with equal signatures (and equal neighborhood, dims,
+  /// periods and block sizes) compute structurally identical schedules.
+  [[nodiscard]] std::vector<int> boundary_signature() const;
+
  private:
   friend CartNeighborComm cart_neighborhood_create(
       const mpl::Comm&, std::span<const int>, std::span<const int>,
@@ -113,12 +131,15 @@ class CartNeighborComm {
   friend std::optional<CartNeighborComm> detect_cartesian(
       const mpl::CartComm&, std::span<const int>, const Info&);
 
+  static std::uint64_t next_uid() noexcept;
+
   mpl::CartComm cart_;
   Neighborhood nb_;
   NeighborhoodStats stats_;
   std::vector<int> weights_;
   std::vector<int> target_ranks_;
   std::vector<int> source_ranks_;
+  std::uint64_t uid_ = next_uid();
   Algorithm a2a_alg_ = Algorithm::automatic;
   Algorithm ag_alg_ = Algorithm::automatic;
   DimOrder ag_order_ = DimOrder::increasing_ck;

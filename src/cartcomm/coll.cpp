@@ -1,9 +1,14 @@
 #include "cartcomm/coll.hpp"
 
 #include <algorithm>
+#include <cstdint>
+#include <memory>
 
+#include "cartcomm/build_schedule.hpp"
+#include "cartcomm/plan.hpp"
 #include "mpl/collectives.hpp"
 #include "mpl/error.hpp"
+#include "telemetry/plan_cache.hpp"
 
 namespace cartcomm {
 
@@ -36,34 +41,36 @@ class CollBuilder {
                     recvs.size() == static_cast<std::size_t>(nb.count()),
                 "cartcomm collective: one block per neighbor required");
     PersistentColl p;
-    p.comm_ = cc.comm();
-    p.allgather_ = allgather;
-    p.alg_ = allgather ? cc.resolve_allgather(alg)
+    p.st_ = std::make_shared<detail::PersistentState>();
+    detail::PersistentState& st = *p.st_;
+    st.comm = cc.comm();
+    st.allgather = allgather;
+    st.alg = allgather ? cc.resolve_allgather(alg)
                        : cc.resolve_alltoall(alg, max_block_bytes(sends));
-    if (p.alg_ == Algorithm::combining) {
+    if (st.alg == Algorithm::combining) {
       if (allgather) {
-        p.sched_ = build_allgather_schedule(cc, sends.front(), recvs, order);
+        st.sched = build_allgather_schedule(cc, sends.front(), recvs, order);
       } else {
-        p.sched_ = build_alltoall_schedule(cc, sends, recvs);
+        st.sched = build_alltoall_schedule(cc, sends, recvs);
       }
       return p;
     }
     // Trivial plan (Listing 4): one send-receive round per neighbor, with
     // the zero-vector blocks handled by local copies.
-    p.sends_ = std::move(sends);
-    p.recvs_ = std::move(recvs);
+    st.sends = std::move(sends);
+    st.recvs = std::move(recvs);
     const int t = nb.count();
-    p.send_rank_.resize(static_cast<std::size_t>(t));
-    p.recv_rank_.resize(static_cast<std::size_t>(t));
+    st.send_rank.resize(static_cast<std::size_t>(t));
+    st.recv_rank.resize(static_cast<std::size_t>(t));
     for (int i = 0; i < t; ++i) {
       if (nb.nonzeros(i) == 0) {
-        p.self_idx_.push_back(i);
-        p.send_rank_[static_cast<std::size_t>(i)] = mpl::PROC_NULL;
-        p.recv_rank_[static_cast<std::size_t>(i)] = mpl::PROC_NULL;
+        st.self_idx.push_back(i);
+        st.send_rank[static_cast<std::size_t>(i)] = mpl::PROC_NULL;
+        st.recv_rank[static_cast<std::size_t>(i)] = mpl::PROC_NULL;
       } else {
-        p.send_rank_[static_cast<std::size_t>(i)] =
+        st.send_rank[static_cast<std::size_t>(i)] =
             cc.target_ranks()[static_cast<std::size_t>(i)];
-        p.recv_rank_[static_cast<std::size_t>(i)] =
+        st.recv_rank[static_cast<std::size_t>(i)] =
             cc.source_ranks()[static_cast<std::size_t>(i)];
       }
     }
@@ -72,52 +79,76 @@ class CollBuilder {
 };
 
 void PersistentColl::execute() const {
-  MPL_REQUIRE(comm_.valid(), "execute on default-constructed PersistentColl");
-  if (alg_ == Algorithm::combining) {
-    sched_.execute(comm_);
+  MPL_REQUIRE(st_ != nullptr,
+              "execute on default-constructed (or moved-from) PersistentColl");
+  detail::PersistentState& st = *st_;
+  MPL_REQUIRE(!st.in_flight,
+              "PersistentColl::execute: an execution is already in flight");
+  if (st.alg == Algorithm::combining) {
+    // Route through the scratch so repeated blocking executions run with
+    // zero setup and zero allocation, like the start()/wait() path.
+    st.in_flight = true;
+    Schedule::Execution e = st.sched.start(st.comm, st.scratch);
+    e.wait();
+    st.in_flight = false;
     return;
   }
   // Trivial t-round algorithm (Listing 4): blocking send-receive per
   // neighbor; deadlock-free because neighborhoods are isomorphic (and the
   // transport is eager).
-  for (std::size_t i = 0; i < sends_.size(); ++i) {
-    const int dst = send_rank_[i];
-    const int src = recv_rank_[i];
+  for (std::size_t i = 0; i < st.sends.size(); ++i) {
+    const int dst = st.send_rank[i];
+    const int src = st.recv_rank[i];
     if (dst == mpl::PROC_NULL && src == mpl::PROC_NULL) continue;
-    comm_.sendrecv(sends_[i].addr, sends_[i].count, sends_[i].type, dst,
-                   kCartTag, recvs_[i].addr, recvs_[i].count, recvs_[i].type,
-                   src, kCartTag);
+    st.comm.sendrecv(st.sends[i].addr, st.sends[i].count, st.sends[i].type, dst,
+                     kCartTag, st.recvs[i].addr, st.recvs[i].count,
+                     st.recvs[i].type, src, kCartTag);
   }
-  for (const int i : self_idx_) {
+  for (const int i : st.self_idx) {
     const std::size_t ui = static_cast<std::size_t>(i);
-    mpl::copy_typed(sends_[ui].addr, sends_[ui].count, sends_[ui].type,
-                    recvs_[ui].addr, recvs_[ui].count, recvs_[ui].type);
+    mpl::copy_typed(st.sends[ui].addr, st.sends[ui].count, st.sends[ui].type,
+                    st.recvs[ui].addr, st.recvs[ui].count, st.recvs[ui].type);
   }
 }
 
 CartRequest PersistentColl::start() const {
-  MPL_REQUIRE(comm_.valid(), "start on default-constructed PersistentColl");
+  MPL_REQUIRE(st_ != nullptr,
+              "start on default-constructed (or moved-from) PersistentColl");
+  detail::PersistentState& st = *st_;
+  MPL_REQUIRE(!st.in_flight,
+              "PersistentColl::start: an execution is already in flight");
+  st.in_flight = true;
   CartRequest r;
+  r.st_ = st_;  // co-ownership: the request outlives this handle if need be
   r.done_ = false;
-  if (alg_ == Algorithm::combining) {
+  if (st.alg == Algorithm::combining) {
     r.combining_ = true;
-    r.exec_ = sched_.start(comm_);
+    r.exec_ = st.sched.start(st.comm, st.scratch);
     r.done_ = r.exec_.done();
+    if (r.done_) st.in_flight = false;
     return r;
   }
   // Trivial plan, non-blocking: direct delivery — post every receive and
-  // send at once; the self copies run at completion.
-  r.trivial_ = this;
-  for (std::size_t i = 0; i < sends_.size(); ++i) {
-    if (recv_rank_[i] != mpl::PROC_NULL) {
-      r.pending_.push_back(comm_.irecv(recvs_[i].addr, recvs_[i].count,
-                                       recvs_[i].type, recv_rank_[i], kCartTag));
+  // send at once; the self copies run at completion. The pending table and
+  // the receive request states live in the shared state and are recycled
+  // across executions.
+  st.pending.clear();
+  st.pending_head = 0;
+  if (st.recv_slots.size() < st.recvs.size()) {
+    st.recv_slots.resize(st.recvs.size());
+  }
+  for (std::size_t i = 0; i < st.recvs.size(); ++i) {
+    if (st.recv_rank[i] != mpl::PROC_NULL) {
+      st.pending.push_back(
+          st.comm.irecv_reuse(st.recv_slots[i], st.recvs[i].addr,
+                              st.recvs[i].count, st.recvs[i].type,
+                              st.recv_rank[i], kCartTag));
     }
   }
-  for (std::size_t i = 0; i < sends_.size(); ++i) {
-    if (send_rank_[i] != mpl::PROC_NULL) {
-      comm_.isend(sends_[i].addr, sends_[i].count, sends_[i].type,
-                  send_rank_[i], kCartTag);
+  for (std::size_t i = 0; i < st.sends.size(); ++i) {
+    if (st.send_rank[i] != mpl::PROC_NULL) {
+      st.comm.isend(st.sends[i].addr, st.sends[i].count, st.sends[i].type,
+                    st.send_rank[i], kCartTag);
     }
   }
   return r;
@@ -125,33 +156,43 @@ CartRequest PersistentColl::start() const {
 
 bool CartRequest::test() {
   if (done_) return true;
+  MPL_REQUIRE(st_ != nullptr, "CartRequest::test on an empty request");
+  detail::PersistentState& st = *st_;
   if (combining_) {
     done_ = exec_.test();
+    if (done_) st.in_flight = false;
     return done_;
   }
-  while (!pending_.empty()) {
-    if (!pending_.front().test()) return false;
-    pending_.erase(pending_.begin());
+  while (st.pending_head < st.pending.size()) {
+    if (!st.pending[st.pending_head].test()) return false;
+    ++st.pending_head;
   }
-  for (const int i : trivial_->self_idx_) {
+  st.pending.clear();
+  st.pending_head = 0;
+  for (const int i : st.self_idx) {
     const std::size_t ui = static_cast<std::size_t>(i);
-    mpl::copy_typed(trivial_->sends_[ui].addr, trivial_->sends_[ui].count,
-                    trivial_->sends_[ui].type, trivial_->recvs_[ui].addr,
-                    trivial_->recvs_[ui].count, trivial_->recvs_[ui].type);
+    mpl::copy_typed(st.sends[ui].addr, st.sends[ui].count, st.sends[ui].type,
+                    st.recvs[ui].addr, st.recvs[ui].count, st.recvs[ui].type);
   }
   done_ = true;
+  st.in_flight = false;
   return true;
 }
 
 void CartRequest::wait() {
   if (done_) return;
+  MPL_REQUIRE(st_ != nullptr, "CartRequest::wait on an empty request");
   if (combining_) {
     exec_.wait();
     done_ = true;
+    st_->in_flight = false;
     return;
   }
-  mpl::wait_all(pending_);
-  pending_.clear();
+  detail::PersistentState& st = *st_;
+  for (std::size_t i = st.pending_head; i < st.pending.size(); ++i) {
+    st.pending[i].wait();
+  }
+  st.pending_head = st.pending.size();
   // All remote requests done: this pass only runs the self copies, so
   // completion is guaranteed.
   const bool completed = test();
@@ -159,9 +200,9 @@ void CartRequest::wait() {
 }
 
 const Schedule& PersistentColl::schedule() const {
-  MPL_REQUIRE(alg_ == Algorithm::combining,
+  MPL_REQUIRE(st_ != nullptr && st_->alg == Algorithm::combining,
               "schedule(): only available for the combining algorithm");
-  return sched_;
+  return st_->sched;
 }
 
 // -- descriptor assembly ------------------------------------------------------
@@ -235,6 +276,102 @@ std::vector<RecvBlock> recvs_w(void* recvbuf, std::span<const int> counts,
   return v;
 }
 
+/// Blocking one-shot execution for the non-persistent entry points. The
+/// combining path goes through the bound-schedule cache (plan + rank +
+/// buffer addresses), so a repeated call with the same arguments skips
+/// schedule construction entirely; the trivial path has no schedule to
+/// cache and reuses the persistent machinery.
+std::shared_ptr<BoundSchedule> run_oneshot(const CartNeighborComm& cc,
+                                           std::vector<SendBlock> sends,
+                                           std::vector<RecvBlock> recvs,
+                                           bool allgather, DimOrder order,
+                                           Algorithm alg) {
+  const Algorithm resolved =
+      allgather ? cc.resolve_allgather(alg)
+                : cc.resolve_alltoall(alg, max_block_bytes(sends));
+  if (resolved == Algorithm::combining) {
+    const std::shared_ptr<BoundSchedule> bound =
+        allgather ? build_allgather_schedule_shared(cc, sends.front(), recvs,
+                                                    order)
+                  : build_alltoall_schedule_shared(cc, sends, recvs);
+    Schedule::Execution e = bound->sched.start(cc.comm(), bound->scratch);
+    e.wait();
+    return bound;
+  }
+  CollBuilder::make(cc, std::move(sends), std::move(recvs), allgather, order,
+                    Algorithm::trivial)
+      .execute();
+  return nullptr;
+}
+
+/// Per-thread fast path for the regular (single count/type) blocking
+/// collectives: when the same communicator, buffers, counts, types and
+/// algorithm repeat back to back, replay the previously bound schedule
+/// with zero per-call allocation — no descriptor vectors, no key words,
+/// no datatype rebuilds. One rank is one thread, so thread_local makes
+/// the memo private to its rank; the communicator uid guards against
+/// allocator address reuse of a destroyed communicator, and the
+/// plan-cache generation invalidates the memo when the cache is cleared
+/// or toggled. Correctness does not depend on the memo matching: a hit
+/// replays a schedule that a fresh bind of the same inputs would have
+/// reproduced bit-identically.
+struct OneShotMemo {
+  std::shared_ptr<BoundSchedule> bound;
+  std::uint64_t cc_uid = 0;
+  std::uint64_t generation = 0;
+  const void* sendbuf = nullptr;
+  void* recvbuf = nullptr;
+  int sendcount = 0;
+  int recvcount = 0;
+  mpl::Datatype sendtype;
+  mpl::Datatype recvtype;
+  bool allgather = false;
+  DimOrder order = DimOrder::increasing_ck;
+  Algorithm alg = Algorithm::automatic;
+};
+thread_local OneShotMemo oneshot_memo;
+
+void run_oneshot_regular(const CartNeighborComm& cc, const void* sendbuf,
+                         int sendcount, const mpl::Datatype& sendtype,
+                         void* recvbuf, int recvcount,
+                         const mpl::Datatype& recvtype, bool allgather,
+                         DimOrder order, Algorithm alg) {
+  OneShotMemo& m = oneshot_memo;
+  if (m.bound && plan_cache_enabled() &&
+      m.generation == plan_cache_generation() && m.cc_uid == cc.uid() &&
+      m.sendbuf == sendbuf && m.recvbuf == recvbuf &&
+      m.sendcount == sendcount && m.recvcount == recvcount &&
+      m.sendtype == sendtype && m.recvtype == recvtype &&
+      m.allgather == allgather && m.order == order && m.alg == alg) {
+    // A memo hit is a bound-schedule cache hit served one level earlier;
+    // counting it keeps "hits + misses == builds" exact.
+    telemetry::on_plan_cache_hit();
+    Schedule::Execution e = m.bound->sched.start(cc.comm(), m.bound->scratch);
+    e.wait();
+    return;
+  }
+  const int t = cc.neighborhood().count();
+  std::shared_ptr<BoundSchedule> bound = run_oneshot(
+      cc, sends_regular(sendbuf, sendcount, sendtype, t, allgather),
+      recvs_regular(recvbuf, recvcount, recvtype, t), allgather, order, alg);
+  if (!bound || !plan_cache_enabled()) {
+    m.bound.reset();
+    return;
+  }
+  m.bound = std::move(bound);
+  m.cc_uid = cc.uid();
+  m.generation = plan_cache_generation();
+  m.sendbuf = sendbuf;
+  m.recvbuf = recvbuf;
+  m.sendcount = sendcount;
+  m.recvcount = recvcount;
+  m.sendtype = sendtype;
+  m.recvtype = recvtype;
+  m.allgather = allgather;
+  m.order = order;
+  m.alg = alg;
+}
+
 }  // namespace
 
 // -- alltoall family ----------------------------------------------------------
@@ -280,9 +417,8 @@ PersistentColl alltoallw_init(const void* sendbuf,
 void alltoall(const void* sendbuf, int sendcount, const mpl::Datatype& sendtype,
               void* recvbuf, int recvcount, const mpl::Datatype& recvtype,
               const CartNeighborComm& cc, Algorithm alg) {
-  alltoall_init(sendbuf, sendcount, sendtype, recvbuf, recvcount, recvtype, cc,
-                alg)
-      .execute();
+  run_oneshot_regular(cc, sendbuf, sendcount, sendtype, recvbuf, recvcount,
+                      recvtype, false, cc.allgather_order(), alg);
 }
 
 void alltoallv(const void* sendbuf, std::span<const int> sendcounts,
@@ -290,9 +426,9 @@ void alltoallv(const void* sendbuf, std::span<const int> sendcounts,
                void* recvbuf, std::span<const int> recvcounts,
                std::span<const int> rdispls, const mpl::Datatype& recvtype,
                const CartNeighborComm& cc, Algorithm alg) {
-  alltoallv_init(sendbuf, sendcounts, sdispls, sendtype, recvbuf, recvcounts,
-                 rdispls, recvtype, cc, alg)
-      .execute();
+  run_oneshot(cc, sends_v(sendbuf, sendcounts, sdispls, sendtype),
+              recvs_v(recvbuf, recvcounts, rdispls, recvtype), false,
+              cc.allgather_order(), alg);
 }
 
 void alltoallw(const void* sendbuf, std::span<const int> sendcounts,
@@ -302,9 +438,9 @@ void alltoallw(const void* sendbuf, std::span<const int> sendcounts,
                std::span<const std::ptrdiff_t> rdispls_bytes,
                std::span<const mpl::Datatype> recvtypes,
                const CartNeighborComm& cc, Algorithm alg) {
-  alltoallw_init(sendbuf, sendcounts, sdispls_bytes, sendtypes, recvbuf,
-                 recvcounts, rdispls_bytes, recvtypes, cc, alg)
-      .execute();
+  run_oneshot(cc, sends_w(sendbuf, sendcounts, sdispls_bytes, sendtypes),
+              recvs_w(recvbuf, recvcounts, rdispls_bytes, recvtypes), false,
+              cc.allgather_order(), alg);
 }
 
 // -- allgather family ---------------------------------------------------------
@@ -353,9 +489,8 @@ void allgather(const void* sendbuf, int sendcount,
                const mpl::Datatype& sendtype, void* recvbuf, int recvcount,
                const mpl::Datatype& recvtype, const CartNeighborComm& cc,
                Algorithm alg) {
-  allgather_init(sendbuf, sendcount, sendtype, recvbuf, recvcount, recvtype, cc,
-                 alg)
-      .execute();
+  run_oneshot_regular(cc, sendbuf, sendcount, sendtype, recvbuf, recvcount,
+                      recvtype, true, cc.allgather_order(), alg);
 }
 
 void allgatherv(const void* sendbuf, int sendcount,
@@ -363,9 +498,12 @@ void allgatherv(const void* sendbuf, int sendcount,
                 std::span<const int> recvcounts, std::span<const int> displs,
                 const mpl::Datatype& recvtype, const CartNeighborComm& cc,
                 Algorithm alg) {
-  allgatherv_init(sendbuf, sendcount, sendtype, recvbuf, recvcounts, displs,
-                  recvtype, cc, alg)
-      .execute();
+  const int t = cc.neighbor_count();
+  std::vector<SendBlock> sends(static_cast<std::size_t>(t),
+                               SendBlock{sendbuf, sendcount, sendtype});
+  run_oneshot(cc, std::move(sends),
+              recvs_v(recvbuf, recvcounts, displs, recvtype), true,
+              cc.allgather_order(), alg);
 }
 
 void allgatherw(const void* sendbuf, int sendcount,
@@ -374,9 +512,12 @@ void allgatherw(const void* sendbuf, int sendcount,
                 std::span<const std::ptrdiff_t> rdispls_bytes,
                 std::span<const mpl::Datatype> recvtypes,
                 const CartNeighborComm& cc, Algorithm alg) {
-  allgatherw_init(sendbuf, sendcount, sendtype, recvbuf, recvcounts,
-                  rdispls_bytes, recvtypes, cc, alg)
-      .execute();
+  const int t = cc.neighbor_count();
+  std::vector<SendBlock> sends(static_cast<std::size_t>(t),
+                               SendBlock{sendbuf, sendcount, sendtype});
+  run_oneshot(cc, std::move(sends),
+              recvs_w(recvbuf, recvcounts, rdispls_bytes, recvtypes), true,
+              cc.allgather_order(), alg);
 }
 
 }  // namespace cartcomm

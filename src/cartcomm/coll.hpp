@@ -15,6 +15,7 @@
 // paper's isomorphic neighborhoods impose).
 #pragma once
 
+#include <memory>
 #include <span>
 
 #include "cartcomm/blocks.hpp"
@@ -26,9 +27,44 @@ namespace cartcomm {
 
 class PersistentColl;
 
+namespace detail {
+
+/// Everything one persistent operation owns: the communicator handle, the
+/// resolved plan (schedule or trivial block/rank tables) and the reusable
+/// execution working set. Shared (refcounted) between the PersistentColl
+/// and every CartRequest started from it, so an in-flight execution keeps
+/// the schedule, its temp pools and the communicator alive even when the
+/// PersistentColl itself is destroyed first — executing a stale handle is
+/// an assertion, never a use-after-free.
+struct PersistentState {
+  mpl::Comm comm;
+  Algorithm alg = Algorithm::trivial;
+  bool allgather = false;
+  Schedule sched;            // combining only
+  ExecutionScratch scratch;  // combining: reused request table + slots
+  // Trivial plan: per-neighbor blocks and partner ranks (Listing 4).
+  std::vector<SendBlock> sends;
+  std::vector<RecvBlock> recvs;
+  std::vector<int> send_rank;
+  std::vector<int> recv_rank;
+  std::vector<int> self_idx;  // zero-vector neighbors (local copies)
+  // Trivial persistent working set: pending table (head cursor marks the
+  // completed prefix) and recycled receive request states.
+  std::vector<mpl::Request> pending;
+  std::size_t pending_head = 0;
+  std::vector<std::shared_ptr<mpl::detail::ReqState>> recv_slots;
+  // At most one execution of an operation may be in flight (the schedule's
+  // buffers and tag are shared); enforced by assertion.
+  bool in_flight = false;
+};
+
+}  // namespace detail
+
 /// Handle for one in-flight non-blocking execution of a persistent
 /// Cartesian collective (the non-blocking persistent mode the paper
-/// anticipates, Section 2). Progress happens inside test()/wait().
+/// anticipates, Section 2). Progress happens inside test()/wait(). The
+/// request co-owns the operation's state, so it stays valid after the
+/// PersistentColl it was started from is destroyed.
 class CartRequest {
  public:
   CartRequest() = default;
@@ -43,16 +79,17 @@ class CartRequest {
 
  private:
   friend class PersistentColl;
-  Schedule::Execution exec_;            // combining path
-  const PersistentColl* trivial_ = nullptr;  // trivial path
-  std::vector<mpl::Request> pending_;
+  std::shared_ptr<detail::PersistentState> st_;  // co-owned operation state
+  Schedule::Execution exec_;                     // combining path
   bool combining_ = false;
   bool done_ = true;
 };
 
 /// Precomputed collective (the *_init handles of Section 2). Executing is
 /// blocking and collective; the schedule (and its temp buffer) is reused
-/// across executions.
+/// across executions, and repeated executions reuse the request table and
+/// receive request states, so the steady state performs no setup work and
+/// no heap allocation.
 class PersistentColl {
  public:
   PersistentColl() = default;
@@ -69,7 +106,9 @@ class PersistentColl {
 
   /// The algorithm this operation was bound to (automatic is resolved at
   /// init time).
-  [[nodiscard]] Algorithm algorithm() const noexcept { return alg_; }
+  [[nodiscard]] Algorithm algorithm() const noexcept {
+    return st_ ? st_->alg : Algorithm::trivial;
+  }
 
   /// The message-combining schedule (valid only when algorithm() ==
   /// Algorithm::combining); used by tests and benchmarks for introspection.
@@ -77,18 +116,8 @@ class PersistentColl {
 
  private:
   friend class CollBuilder;
-  friend class CartRequest;
 
-  mpl::Comm comm_;
-  Algorithm alg_ = Algorithm::trivial;
-  bool allgather_ = false;
-  Schedule sched_;  // combining only
-  // Trivial plan: per-neighbor blocks and partner ranks (Listing 4).
-  std::vector<SendBlock> sends_;
-  std::vector<RecvBlock> recvs_;
-  std::vector<int> send_rank_;
-  std::vector<int> recv_rank_;
-  std::vector<int> self_idx_;  // zero-vector neighbors (local copies)
+  std::shared_ptr<detail::PersistentState> st_;
 };
 
 // -- alltoall family ----------------------------------------------------------

@@ -1,0 +1,413 @@
+// CompiledPlan binding, cache keys, and the process-global sharded plan
+// cache (see plan.hpp for the design overview).
+#include "cartcomm/plan.hpp"
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <unordered_map>
+
+#include "mpl/annotations.hpp"
+#include "mpl/checked.hpp"
+#include "mpl/error.hpp"
+#include "telemetry/plan_cache.hpp"
+
+namespace cartcomm {
+
+// -- binding -----------------------------------------------------------------
+
+Schedule CompiledPlan::bind(const CartNeighborComm& cc,
+                            std::span<const SendBlock> sends,
+                            std::span<const RecvBlock> recvs) const {
+  const mpl::CartGrid& grid = cc.grid();
+  const std::span<const int> R = cc.coords();
+
+  ScheduleBuilder builder;
+  builder.set_grid(grid);
+  std::byte* temp = builder.allocate_temp(temp_bytes_);
+
+  auto append = [&](mpl::TypeBuilder& tb, const PlanPlacement& p) {
+    switch (p.kind) {
+      case PlanPlacement::Kind::send_block: {
+        const std::size_t ui = static_cast<std::size_t>(p.index);
+        tb.append(sends[ui].addr, sends[ui].count, sends[ui].type);
+        break;
+      }
+      case PlanPlacement::Kind::recv_block: {
+        const std::size_t ui = static_cast<std::size_t>(p.index);
+        tb.append(recvs[ui].addr, recvs[ui].count, recvs[ui].type);
+        break;
+      }
+      case PlanPlacement::Kind::temp:
+        tb.append_bytes(temp + p.offset, p.bytes);
+        break;
+    }
+  };
+
+  std::size_t ri = 0;
+  std::vector<int> neg;
+  for (const int phase_count : phase_rounds_) {
+    for (int x = 0; x < phase_count; ++x, ++ri) {
+      const PlanRound& r = rounds_[ri];
+      mpl::TypeBuilder sb, rb;
+      for (const PlanPlacement& p : r.send_items) append(sb, p);
+      for (const PlanPlacement& p : r.recv_items) append(rb, p);
+      const int sendrank = grid.rank_at_offset(R, r.offset);
+      neg.assign(r.offset.begin(), r.offset.end());
+      for (int& v : neg) v = -v;
+      const int recvrank = grid.rank_at_offset(R, neg);
+      // rank_at_offset yields PROC_NULL exactly when the offset leaves a
+      // non-periodic mesh, so a null partner here is a provable boundary.
+      builder.add_round({sendrank, recvrank, sb.build(), rb.build(), r.offset,
+                         sendrank == mpl::PROC_NULL,
+                         recvrank == mpl::PROC_NULL},
+                        r.blocks_sent);
+    }
+    builder.end_phase();
+  }
+  for (const PlanCopy& c : copies_) {
+    mpl::TypeBuilder sb, rb;
+    append(sb, c.src);
+    append(rb, c.dst);
+    builder.add_copy(sb.build(), rb.build());
+  }
+  return builder.finish();
+}
+
+// -- cache keys --------------------------------------------------------------
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+/// Structural digest of a block descriptor: element count plus the
+/// datatype's flattened shape (lb, extent, and every (disp, len) block).
+/// Addresses are not part of it.
+std::int64_t type_digest(const mpl::Datatype& type, int count) {
+  std::uint64_t h = kFnvOffset;
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= kFnvPrime;
+  };
+  mix(static_cast<std::uint64_t>(count));
+  mix(static_cast<std::uint64_t>(type.lb()));
+  mix(static_cast<std::uint64_t>(type.extent()));
+  for (const mpl::TypeBlock& b : type.blocks()) {
+    mix(static_cast<std::uint64_t>(b.disp));
+    mix(static_cast<std::uint64_t>(b.len));
+  }
+  return static_cast<std::int64_t>(h);
+}
+
+/// Everything both collectives share: topology, position class, and the
+/// neighborhood itself.
+void append_common(std::vector<std::int64_t>& w, const CartNeighborComm& cc) {
+  const mpl::CartGrid& g = cc.grid();
+  const Neighborhood& nb = cc.neighborhood();
+  const int d = nb.ndims();
+  const int t = nb.count();
+  w.push_back(d);
+  for (int j = 0; j < d; ++j) {
+    w.push_back(g.dims()[static_cast<std::size_t>(j)]);
+    w.push_back(g.periodic(j) ? 1 : 0);
+  }
+  for (const int s : cc.boundary_signature()) w.push_back(s);
+  w.push_back(t);
+  for (const int c : nb.flat()) w.push_back(c);
+}
+
+PlanKey seal(std::vector<std::int64_t> w) {
+  PlanKey key;
+  key.words = std::move(w);
+  std::uint64_t h = kFnvOffset;
+  for (const std::int64_t x : key.words) {
+    h ^= static_cast<std::uint64_t>(x);
+    h *= kFnvPrime;
+  }
+  key.hash = static_cast<std::size_t>(h);
+  return key;
+}
+
+}  // namespace
+
+PlanKey make_alltoall_key(const CartNeighborComm& cc,
+                          std::span<const SendBlock> sends,
+                          std::span<const RecvBlock> recvs) {
+  std::vector<std::int64_t> w;
+  w.reserve(8 + static_cast<std::size_t>(cc.neighborhood().count()) *
+                    (static_cast<std::size_t>(cc.neighborhood().ndims()) + 3));
+  w.push_back(1);  // collective kind: alltoall
+  append_common(w, cc);
+  for (std::size_t i = 0; i < sends.size(); ++i) {
+    w.push_back(static_cast<std::int64_t>(sends[i].bytes()));
+    w.push_back(type_digest(sends[i].type, sends[i].count));
+    w.push_back(type_digest(recvs[i].type, recvs[i].count));
+  }
+  return seal(std::move(w));
+}
+
+PlanKey make_allgather_key(const CartNeighborComm& cc, const SendBlock& send,
+                           std::span<const RecvBlock> recvs, DimOrder order) {
+  std::vector<std::int64_t> w;
+  w.reserve(10 + static_cast<std::size_t>(cc.neighborhood().count()) *
+                     (static_cast<std::size_t>(cc.neighborhood().ndims()) + 1));
+  w.push_back(2);  // collective kind: allgather
+  append_common(w, cc);
+  w.push_back(static_cast<std::int64_t>(order));
+  w.push_back(static_cast<std::int64_t>(send.bytes()));
+  w.push_back(type_digest(send.type, send.count));
+  for (const RecvBlock& r : recvs) w.push_back(type_digest(r.type, r.count));
+  return seal(std::move(w));
+}
+
+// -- the cache ---------------------------------------------------------------
+
+namespace {
+
+struct CacheEntry {
+  std::shared_ptr<const CompiledPlan> plan;
+  std::uint64_t tick = 0;  // last-touch stamp for approximate LRU
+};
+
+struct KeyHash {
+  std::size_t operator()(const PlanKey& k) const noexcept { return k.hash; }
+};
+
+struct PlanCacheShard {
+  mpl::detail::PlanCacheMutex mtx_;
+  std::unordered_map<PlanKey, CacheEntry, KeyHash> map_ MPL_GUARDED_BY(mtx_);
+};
+
+constexpr std::size_t kShards = 8;
+
+// Function-local static: init-order safe (first lookup constructs it) and
+// never destroyed order-sensitively before last use within main().
+std::array<PlanCacheShard, kShards>& shards() {
+  static std::array<PlanCacheShard, kShards> s;
+  return s;
+}
+
+PlanCacheShard& shard_for(std::size_t hash) { return shards()[hash % kShards]; }
+
+// Bound-schedule shards: same shape, same lock level (both leaves; the two
+// cache levels are never locked together — a bound miss releases its shard
+// before the compiled-plan lookup runs).
+struct SchedCacheEntry {
+  std::shared_ptr<BoundSchedule> bound;
+  std::uint64_t tick = 0;
+};
+
+struct SchedCacheShard {
+  mpl::detail::PlanCacheMutex mtx_;
+  std::unordered_map<PlanKey, SchedCacheEntry, KeyHash> map_
+      MPL_GUARDED_BY(mtx_);
+};
+
+std::array<SchedCacheShard, kShards>& sched_shards() {
+  static std::array<SchedCacheShard, kShards> s;
+  return s;
+}
+
+SchedCacheShard& sched_shard_for(std::size_t hash) {
+  return sched_shards()[hash % kShards];
+}
+
+std::atomic<std::uint64_t>& tick_source() {
+  static std::atomic<std::uint64_t> t{0};
+  return t;
+}
+
+bool env_flag(const char* name, bool fallback) {
+  const char* e = std::getenv(name);
+  if (e == nullptr || *e == '\0') return fallback;
+  const std::string v(e);
+  return !(v == "0" || v == "false" || v == "off" || v == "no");
+}
+
+std::size_t env_size(const char* name, std::size_t fallback) {
+  const char* e = std::getenv(name);
+  if (e == nullptr || *e == '\0') return fallback;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(e, &end, 10);
+  if (end == e) return fallback;
+  return static_cast<std::size_t>(v);
+}
+
+// Environment is read once at first use; the programmatic setters below
+// overwrite these atomics, so they always win over the environment.
+struct CacheConfig {
+  std::atomic<bool> enabled;
+  std::atomic<std::size_t> cap;
+
+  CacheConfig()
+      : enabled(env_flag("MPL_PLAN_CACHE", true)),
+        cap(env_size("MPL_PLAN_CACHE_CAP", 256)) {}
+};
+
+CacheConfig& config() {
+  static CacheConfig c;
+  return c;
+}
+
+std::size_t per_shard_cap() {
+  const std::size_t cap = config().cap.load(std::memory_order_relaxed);
+  if (cap == 0) return 0;  // unbounded
+  return (cap + kShards - 1) / kShards;
+}
+
+}  // namespace
+
+bool plan_cache_enabled() {
+  return config().enabled.load(std::memory_order_relaxed);
+}
+
+namespace {
+std::atomic<std::uint64_t>& generation_source() {
+  static std::atomic<std::uint64_t> g{0};
+  return g;
+}
+}  // namespace
+
+std::uint64_t plan_cache_generation() {
+  return generation_source().load(std::memory_order_relaxed);
+}
+
+void plan_cache_set_enabled(bool on) {
+  config().enabled.store(on, std::memory_order_relaxed);
+  generation_source().fetch_add(1, std::memory_order_relaxed);
+}
+
+std::size_t plan_cache_cap() {
+  return config().cap.load(std::memory_order_relaxed);
+}
+
+void plan_cache_set_cap(std::size_t cap) {
+  config().cap.store(cap, std::memory_order_relaxed);
+}
+
+std::shared_ptr<const CompiledPlan> plan_cache_lookup(const PlanKey& key) {
+  if (!plan_cache_enabled()) return nullptr;  // bypass: not counted
+  PlanCacheShard& sh = shard_for(key.hash);
+  mpl::detail::CheckedLock lock(sh.mtx_);
+  auto it = sh.map_.find(key);
+  if (it == sh.map_.end()) {
+    telemetry::on_plan_cache_miss();
+    return nullptr;
+  }
+  it->second.tick =
+      tick_source().fetch_add(1, std::memory_order_relaxed) + 1;
+  telemetry::on_plan_cache_hit();
+  return it->second.plan;
+}
+
+std::shared_ptr<const CompiledPlan> plan_cache_store(const PlanKey& key,
+                                                     CompiledPlan&& plan) {
+  auto sp = std::make_shared<const CompiledPlan>(std::move(plan));
+  if (!plan_cache_enabled()) return sp;  // caller keeps the sole reference
+  PlanCacheShard& sh = shard_for(key.hash);
+  mpl::detail::CheckedLock lock(sh.mtx_);
+  auto [it, inserted] = sh.map_.try_emplace(key);
+  if (!inserted) return it->second.plan;  // concurrent compile: first wins
+  it->second.plan = sp;
+  it->second.tick = tick_source().fetch_add(1, std::memory_order_relaxed) + 1;
+  telemetry::on_plan_cache_insert();
+  const std::size_t cap = per_shard_cap();
+  while (cap != 0 && sh.map_.size() > cap) {
+    auto victim = sh.map_.end();
+    for (auto e = sh.map_.begin(); e != sh.map_.end(); ++e) {
+      if (e == it) continue;  // never evict the plan being published
+      if (victim == sh.map_.end() || e->second.tick < victim->second.tick) {
+        victim = e;
+      }
+    }
+    if (victim == sh.map_.end()) break;
+    sh.map_.erase(victim);
+    telemetry::on_plan_cache_evict();
+  }
+  return sp;
+}
+
+std::size_t plan_cache_size() {
+  std::size_t n = 0;
+  for (PlanCacheShard& sh : shards()) {
+    mpl::detail::CheckedLock lock(sh.mtx_);
+    n += sh.map_.size();
+  }
+  return n;
+}
+
+void plan_cache_clear() {
+  std::uint64_t dropped = 0;
+  for (PlanCacheShard& sh : shards()) {
+    mpl::detail::CheckedLock lock(sh.mtx_);
+    dropped += sh.map_.size();
+    sh.map_.clear();
+  }
+  telemetry::on_plan_cache_drop(dropped);
+  for (SchedCacheShard& sh : sched_shards()) {
+    mpl::detail::CheckedLock lock(sh.mtx_);
+    sh.map_.clear();  // auxiliary entries: not in the gauge
+  }
+  generation_source().fetch_add(1, std::memory_order_relaxed);
+}
+
+PlanKey make_bound_key(const PlanKey& plan, int rank,
+                       std::span<const SendBlock> sends,
+                       std::span<const RecvBlock> recvs) {
+  std::vector<std::int64_t> w;
+  w.reserve(3 + sends.size() + recvs.size());
+  w.push_back(3);  // key kind: bound schedule
+  w.push_back(static_cast<std::int64_t>(plan.hash));
+  w.push_back(rank);
+  for (const SendBlock& b : sends) {
+    w.push_back(
+        static_cast<std::int64_t>(reinterpret_cast<std::uintptr_t>(b.addr)));
+  }
+  for (const RecvBlock& b : recvs) {
+    w.push_back(
+        static_cast<std::int64_t>(reinterpret_cast<std::uintptr_t>(b.addr)));
+  }
+  return seal(std::move(w));
+}
+
+std::shared_ptr<BoundSchedule> schedule_cache_lookup(const PlanKey& key) {
+  if (!plan_cache_enabled()) return nullptr;  // bypass: not counted
+  SchedCacheShard& sh = sched_shard_for(key.hash);
+  mpl::detail::CheckedLock lock(sh.mtx_);
+  auto it = sh.map_.find(key);
+  if (it == sh.map_.end()) return nullptr;  // the plan lookup counts the miss
+  it->second.tick = tick_source().fetch_add(1, std::memory_order_relaxed) + 1;
+  telemetry::on_plan_cache_hit();
+  return it->second.bound;
+}
+
+std::shared_ptr<BoundSchedule> schedule_cache_store(const PlanKey& key,
+                                                    Schedule&& sched) {
+  auto sp = std::make_shared<BoundSchedule>();
+  sp->sched = std::move(sched);
+  if (!plan_cache_enabled()) return sp;
+  SchedCacheShard& sh = sched_shard_for(key.hash);
+  mpl::detail::CheckedLock lock(sh.mtx_);
+  auto [it, inserted] = sh.map_.try_emplace(key);
+  if (!inserted) return it->second.bound;  // concurrent bind: first wins
+  it->second.bound = sp;
+  it->second.tick = tick_source().fetch_add(1, std::memory_order_relaxed) + 1;
+  const std::size_t cap = per_shard_cap();
+  while (cap != 0 && sh.map_.size() > cap) {
+    auto victim = sh.map_.end();
+    for (auto e = sh.map_.begin(); e != sh.map_.end(); ++e) {
+      if (e == it) continue;
+      if (victim == sh.map_.end() || e->second.tick < victim->second.tick) {
+        victim = e;
+      }
+    }
+    if (victim == sh.map_.end()) break;
+    sh.map_.erase(victim);  // auxiliary: no eviction counter
+  }
+  return sp;
+}
+
+}  // namespace cartcomm

@@ -1,0 +1,240 @@
+// Compiled communication plans and the process-global plan cache.
+//
+// The paper's isomorphism result is that a combining schedule's structure
+// depends only on the neighborhood signature — never on the calling
+// rank's data, and on a torus not even on its position. Splitting the
+// schedule *build* into a rank-independent compile step and a cheap
+// per-call bind step makes that literal in the code:
+//
+//   compile  — runs Algorithm 1/2 once and records a placement program: a
+//              per-round list of abstract block placements (send block i,
+//              receive block i, or a temp-pool range), the generating
+//              offsets, phase boundaries and the final local copies. A
+//              CompiledPlan holds no addresses, datatypes or ranks — it is
+//              immutable and shareable across communicators and threads.
+//   bind     — replays the placement program against concrete buffers:
+//              builds the absolute datatypes (in exactly the recorded
+//              append order, so bound schedules are bit-identical to ones
+//              built directly), allocates the temp pool, and resolves the
+//              partner ranks from this process' grid position.
+//
+// Repeated non-persistent collective calls therefore skip the O(t·d)
+// construction entirely: the plan comes from a concurrent sharded cache
+// keyed by the canonical neighborhood signature (see PlanKey), and only
+// the bind runs per call. MPL_PLAN_CACHE=0 disables the cache,
+// MPL_PLAN_CACHE_CAP bounds its size (approximate LRU eviction).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "cartcomm/analysis.hpp"
+#include "cartcomm/blocks.hpp"
+#include "cartcomm/cart_comm.hpp"
+#include "cartcomm/schedule.hpp"
+
+namespace cartcomm {
+
+/// Abstract location of one block appended to a round's datatype: a send
+/// block, a receive block (by neighbor index), or a temp-pool byte range.
+struct PlanPlacement {
+  enum class Kind : std::uint8_t { send_block, recv_block, temp };
+  Kind kind = Kind::send_block;
+  int index = 0;           // neighbor index (send_block / recv_block)
+  std::size_t offset = 0;  // byte offset into the temp pool (temp)
+  std::size_t bytes = 0;   // byte length (temp)
+};
+
+/// One recorded send-receive round: the placements appended to each
+/// direction's datatype (in order) and the generating offset c*e_k from
+/// which bind() resolves both partner ranks.
+struct PlanRound {
+  std::vector<PlanPlacement> send_items;
+  std::vector<PlanPlacement> recv_items;
+  std::vector<int> offset;
+  long long blocks_sent = 0;
+};
+
+/// One recorded local copy of the final phase.
+struct PlanCopy {
+  PlanPlacement src;
+  PlanPlacement dst;
+};
+
+/// Immutable rank-independent placement program (see file comment).
+class CompiledPlan {
+ public:
+  /// Replay the program against concrete buffers, producing the same
+  /// Schedule the direct builder would have produced on this process.
+  [[nodiscard]] Schedule bind(const CartNeighborComm& cc,
+                              std::span<const SendBlock> sends,
+                              std::span<const RecvBlock> recvs) const;
+
+  [[nodiscard]] int rounds() const noexcept {
+    return static_cast<int>(rounds_.size());
+  }
+  [[nodiscard]] std::size_t temp_bytes() const noexcept { return temp_bytes_; }
+
+ private:
+  friend class PlanBuilder;
+
+  std::vector<PlanRound> rounds_;
+  std::vector<int> phase_rounds_;
+  std::vector<PlanCopy> copies_;
+  std::size_t temp_bytes_ = 0;
+};
+
+/// Incremental recorder used by the compile functions; mirrors
+/// ScheduleBuilder so compile code reads like the original build code.
+class PlanBuilder {
+ public:
+  /// Reserve a temp-pool range; returns its byte offset.
+  std::size_t allocate_temp(std::size_t bytes) {
+    const std::size_t off = p_.temp_bytes_;
+    p_.temp_bytes_ += bytes;
+    return off;
+  }
+
+  void add_round(PlanRound r) {
+    p_.rounds_.push_back(std::move(r));
+    ++open_phase_rounds_;
+  }
+
+  void end_phase() {
+    p_.phase_rounds_.push_back(open_phase_rounds_);
+    open_phase_rounds_ = 0;
+  }
+
+  void add_copy(PlanPlacement src, PlanPlacement dst) {
+    p_.copies_.push_back({src, dst});
+  }
+
+  CompiledPlan finish() {
+    if (open_phase_rounds_ != 0) end_phase();
+    return std::move(p_);
+  }
+
+ private:
+  CompiledPlan p_;
+  int open_phase_rounds_ = 0;
+};
+
+/// Canonical cache key: every input the compile step depends on,
+/// serialized into one word vector — collective kind, dimension order, d,
+/// dims, periodicity, the boundary signature (clamped per-dimension edge
+/// distances; -1 for periodic dimensions), the full neighborhood offset
+/// list, per-neighbor block byte sizes, and a structural digest of every
+/// block datatype. Two calls with equal keys compile identical plans.
+struct PlanKey {
+  std::vector<std::int64_t> words;
+  std::size_t hash = 0;
+
+  bool operator==(const PlanKey& o) const noexcept {
+    return hash == o.hash && words == o.words;
+  }
+};
+
+/// Key builders for the two collective kinds. Block *addresses* are
+/// deliberately absent — plans are position- and buffer-independent.
+[[nodiscard]] PlanKey make_alltoall_key(const CartNeighborComm& cc,
+                                        std::span<const SendBlock> sends,
+                                        std::span<const RecvBlock> recvs);
+[[nodiscard]] PlanKey make_allgather_key(const CartNeighborComm& cc,
+                                         const SendBlock& send,
+                                         std::span<const RecvBlock> recvs,
+                                         DimOrder order);
+
+/// Compile steps (Algorithm 1/2 with placements recorded instead of
+/// datatypes built). Pure in the key: every input they read is covered by
+/// the corresponding make_*_key.
+[[nodiscard]] CompiledPlan compile_alltoall_plan(
+    const CartNeighborComm& cc, std::span<const std::size_t> block_bytes);
+[[nodiscard]] CompiledPlan compile_allgather_plan(const CartNeighborComm& cc,
+                                                  std::size_t block_bytes,
+                                                  DimOrder order);
+
+// -- concurrent plan cache ---------------------------------------------------
+//
+// Process-global (ranks are threads of one process) and sharded by key
+// hash; each shard is a small map under its own CheckedMutex at
+// LockLevel::plan_cache (a leaf — compilation and binding happen outside
+// the lock). Lookup/store are the cache interface used by the
+// build_*_schedule entry points; the remaining functions are test and
+// tooling knobs. First insert wins: concurrent misses on the same key
+// both compile, and the loser adopts the winner's plan.
+
+/// Cached plan for `key`, or null on a miss (or when the cache is off).
+[[nodiscard]] std::shared_ptr<const CompiledPlan> plan_cache_lookup(
+    const PlanKey& key);
+
+/// Publish a freshly compiled plan; returns the canonical shared plan
+/// (an earlier concurrent insert wins over `plan`).
+[[nodiscard]] std::shared_ptr<const CompiledPlan> plan_cache_store(
+    const PlanKey& key, CompiledPlan&& plan);
+
+/// Cache toggle: defaults to on, initial value from MPL_PLAN_CACHE
+/// (0/false disables). The programmatic setter overrides the environment.
+[[nodiscard]] bool plan_cache_enabled();
+void plan_cache_set_enabled(bool on);
+
+/// Capacity bound (total cached plans, approximate: enforced per shard).
+/// Defaults to 256, initial value from MPL_PLAN_CACHE_CAP; 0 means
+/// "unbounded". Lowering the cap takes effect on subsequent inserts.
+[[nodiscard]] std::size_t plan_cache_cap();
+void plan_cache_set_cap(std::size_t cap);
+
+/// Number of plans currently cached (sums all shards).
+[[nodiscard]] std::size_t plan_cache_size();
+
+/// Drop every cached plan (tests; outstanding shared_ptrs stay valid).
+void plan_cache_clear();
+
+/// Monotonic counter bumped by plan_cache_clear() and
+/// plan_cache_set_enabled(); per-thread fast-path memos compare it to
+/// notice that cached state was invalidated behind their back.
+[[nodiscard]] std::uint64_t plan_cache_generation();
+
+// -- bound-schedule cache -----------------------------------------------------
+//
+// Second cache level, used by the blocking one-shot collectives only: a
+// compiled plan already bound to one rank's concrete buffers. Keyed by the
+// plan key's hash plus the calling rank and every block address, so an
+// entry can only be served where a fresh bind would have produced the
+// bit-identical Schedule — bind is deterministic in exactly those inputs,
+// which also makes address reuse (free + re-malloc at the same address
+// with the same signature) harmless. Sharing is safe because the one-shot
+// path runs to completion on the single thread that owns the buffers
+// before returning; the persistent path keeps its own private Schedule
+// (two interleaved persistent executions must not share a temp pool).
+
+/// A bound schedule plus its reusable execution working set. The scratch
+/// may be mutated by whichever thread executes the schedule; that is safe
+/// because only the thread owning the keyed buffer addresses can reach
+/// the entry, and the blocking one-shot call cannot overlap itself.
+struct BoundSchedule {
+  Schedule sched;
+  ExecutionScratch scratch;
+};
+
+/// Key for a bound schedule: `plan` identity + rank + block addresses.
+[[nodiscard]] PlanKey make_bound_key(const PlanKey& plan, int rank,
+                                     std::span<const SendBlock> sends,
+                                     std::span<const RecvBlock> recvs);
+
+/// Cached bound schedule, or null. A hit counts as a plan-cache hit (the
+/// plan was implicitly found too); a miss is left to the compiled-plan
+/// lookup that follows, so every build counts exactly once.
+[[nodiscard]] std::shared_ptr<BoundSchedule> schedule_cache_lookup(
+    const PlanKey& key);
+
+/// Publish a bound schedule. First insert wins; evicts approximately-LRU
+/// under the same per-shard cap as compiled plans. Bound entries are
+/// auxiliary: they do not appear in plan_cache_size() or the entries
+/// gauge, and plan_cache_clear() drops them too.
+[[nodiscard]] std::shared_ptr<BoundSchedule> schedule_cache_store(
+    const PlanKey& key, Schedule&& sched);
+
+}  // namespace cartcomm

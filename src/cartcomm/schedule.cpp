@@ -39,11 +39,26 @@ void Schedule::execute(const mpl::Comm& comm) const {
 }
 
 Schedule::Execution Schedule::start(const mpl::Comm& comm) const {
-  return Execution(this, comm);
+  return Execution(this, comm, nullptr);
 }
 
-Schedule::Execution::Execution(const Schedule* s, const mpl::Comm& comm)
-    : sched_(s), comm_(comm), done_(false) {
+Schedule::Execution Schedule::start(const mpl::Comm& comm,
+                                    ExecutionScratch& scratch) const {
+  return Execution(this, comm, &scratch);
+}
+
+Schedule::Execution::Execution(const Schedule* s, const mpl::Comm& comm,
+                               ExecutionScratch* scratch)
+    : sched_(s), comm_(comm), scratch_(scratch), done_(false) {
+  if (scratch_) {
+    // Fresh execution over retained capacity: requests of the previous
+    // execution are complete (its wait() returned), slots stay populated
+    // for recycling.
+    scratch_->pending.clear();
+    scratch_->pending_round.clear();
+    scratch_->head = 0;
+    scratch_->next_slot = 0;
+  }
   trace::RankTrace* tr = comm.proc().trace();
   if (tr && tr->active()) {
     tr_ = tr;
@@ -98,8 +113,9 @@ void Schedule::Execution::end_phase_scope() {
 }
 
 void Schedule::Execution::post_phase() {
+  ExecutionScratch& s = sc();
   // Post phases until one has pending receives (or all work is done).
-  while (pending_.empty()) {
+  while (s.pending.empty()) {
     end_phase_scope();
     if (phase_ >= sched_->phase_rounds_.size()) {
       finish_copies();
@@ -123,9 +139,18 @@ void Schedule::Execution::post_phase() {
       }
       if (r.recvrank != mpl::PROC_NULL && r.recvtype.valid() &&
           r.recvtype.size() > 0) {
-        pending_.push_back(
-            comm_.irecv(mpl::BOTTOM, 1, r.recvtype, r.recvrank, kCartTag));
-        pending_round_.push_back(j);
+        if (scratch_) {
+          // Persistent mode: receives recycle the request states kept in
+          // the scratch's slot table (indexed by posting order).
+          if (s.slots.size() <= s.next_slot) s.slots.resize(s.next_slot + 1);
+          s.pending.push_back(comm_.irecv_reuse(s.slots[s.next_slot++],
+                                                mpl::BOTTOM, 1, r.recvtype,
+                                                r.recvrank, kCartTag));
+        } else {
+          s.pending.push_back(
+              comm_.irecv(mpl::BOTTOM, 1, r.recvtype, r.recvrank, kCartTag));
+        }
+        s.pending_round.push_back(j);
       }
       if (r.sendrank != mpl::PROC_NULL && r.sendtype.valid() &&
           r.sendtype.size() > 0) {
@@ -180,33 +205,39 @@ void Schedule::Execution::finish_copies() {
 // Complete pending receives in posting order (deterministic virtual-clock
 // accounting), restoring each one's round scope for its recv_complete event.
 void Schedule::Execution::drain_pending() {
-  for (std::size_t i = 0; i < pending_.size(); ++i) {
+  ExecutionScratch& s = sc();
+  for (std::size_t i = s.head; i < s.pending.size(); ++i) {
     if (publish_point_) {
       // phase_ already names the NEXT phase; the pending receives belong
       // to the one in flight.
       comm_.proc().set_sched_point(static_cast<int>(phase_) - 1,
-                                   pending_round_[i]);
+                                   s.pending_round[i]);
     }
-    if (tr_) tr_->set_round(pending_round_[i]);
-    pending_[i].wait();
+    if (tr_) tr_->set_round(s.pending_round[i]);
+    s.pending[i].wait();
   }
   if (tr_) tr_->set_round(-1);
-  pending_.clear();
-  pending_round_.clear();
+  s.pending.clear();
+  s.pending_round.clear();
+  s.head = 0;
 }
 
 bool Schedule::Execution::test() {
   if (done_) return true;
+  ExecutionScratch& s = sc();
   // Complete any finished receives of the current phase (in order, so the
-  // virtual-clock accounting stays deterministic).
-  while (!pending_.empty()) {
-    if (tr_) tr_->set_round(pending_round_.front());
-    const bool ok = pending_.front().test();
+  // virtual-clock accounting stays deterministic). A head cursor marks the
+  // completed prefix — no O(n) erase from the front of the table.
+  while (s.head < s.pending.size()) {
+    if (tr_) tr_->set_round(s.pending_round[s.head]);
+    const bool ok = s.pending[s.head].test();
     if (tr_) tr_->set_round(-1);
     if (!ok) return false;
-    pending_.erase(pending_.begin());
-    pending_round_.erase(pending_round_.begin());
+    ++s.head;
   }
+  s.pending.clear();
+  s.pending_round.clear();
+  s.head = 0;
   post_phase();
   return done_;
 }

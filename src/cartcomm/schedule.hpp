@@ -64,6 +64,8 @@ struct ScheduleCopy {
   mpl::Datatype dst;
 };
 
+struct ExecutionScratch;
+
 /// Executable communication schedule, bound to the buffers it was built
 /// for. Owns the temporary in-transit buffer. Schedules are precomputed by
 /// the *_init operations and reused across executions (the persistent
@@ -82,6 +84,13 @@ class Schedule {
   /// buffers). This is the non-blocking/persistent mode the paper
   /// anticipates for the MPI Forum's persistent collectives.
   [[nodiscard]] Execution start(const mpl::Comm& comm) const;
+
+  /// Like start(), but the execution works out of the caller-owned scratch
+  /// (see ExecutionScratch): repeated executions of one schedule reuse the
+  /// request table and recycle receive request states instead of
+  /// allocating. At most one execution may use a given scratch at a time.
+  [[nodiscard]] Execution start(const mpl::Comm& comm,
+                                ExecutionScratch& scratch) const;
 
   // -- introspection (tests, benchmarks) ------------------------------------
 
@@ -145,6 +154,23 @@ class Schedule {
   long long send_blocks_ = 0;
 };
 
+/// Reusable per-execution working set: the pending-request table and the
+/// receive request-state slots. A caller that executes the same schedule
+/// repeatedly (the persistent collectives) passes one of these to
+/// Schedule::start(comm, scratch); after a warm-up execution has sized the
+/// vectors and populated the slots, every further execution runs without
+/// heap allocation — requests land in retained capacity and receives
+/// recycle their request states via Comm::irecv_reuse.
+struct ExecutionScratch {
+  std::vector<mpl::Request> pending;
+  std::vector<int> pending_round;  // round scope of each pending receive
+  std::size_t head = 0;            // completed prefix of `pending`
+  /// Receive request states, indexed by posting order within one
+  /// execution; persists across executions so states are recycled.
+  std::vector<std::shared_ptr<mpl::detail::ReqState>> slots;
+  std::size_t next_slot = 0;  // next slot to (re)use in this execution
+};
+
 /// In-flight non-blocking execution of a Schedule. Phases advance inside
 /// test()/wait(); destruction of an incomplete execution is an error
 /// caught by assertion in debug use (wait() must be called).
@@ -164,19 +190,23 @@ class Schedule::Execution {
 
  private:
   friend class Schedule;
-  Execution(const Schedule* s, const mpl::Comm& comm);
+  Execution(const Schedule* s, const mpl::Comm& comm,
+            ExecutionScratch* scratch);
   void post_phase();
   void finish_copies();
   void drain_pending();
   void begin_phase_scope(int phase);
   void end_phase_scope();
+  [[nodiscard]] ExecutionScratch& sc() noexcept {
+    return scratch_ ? *scratch_ : own_;
+  }
 
   const Schedule* sched_ = nullptr;
   mpl::Comm comm_;
   std::size_t phase_ = 0;       // next phase to post
   std::size_t round_base_ = 0;  // first round index of that phase
-  std::vector<mpl::Request> pending_;
-  std::vector<int> pending_round_;  // round scope of each pending receive
+  ExecutionScratch* scratch_ = nullptr;  // caller-owned (persistent mode)
+  ExecutionScratch own_;                 // fallback for one-shot executions
   bool done_ = true;
 
   // Tracing scope (null when neither tracing nor metrics are armed).

@@ -1,13 +1,14 @@
 // Concurrency discipline primitives: one mutex declaration drives three
 // checkers.
 //
-// The simulated-MPI runtime takes six kinds of locks: the runtime's
+// The simulated-MPI runtime takes seven kinds of locks: the runtime's
 // communicator registry mutex, the out-of-band barrier mutex, the
 // per-process mailbox mutex, the per-process payload buffer-pool mutex,
-// the stall-report slot, and the first-error capture slot. The intended
-// discipline is a strict global hierarchy — a thread holds at most one
-// tracked lock at a time, and a condition variable is only ever waited on
-// while holding exactly the mutex it is paired with:
+// the stall-report slot, the first-error capture slot, and the cartcomm
+// compiled-plan cache shard mutexes. The intended discipline is a strict
+// global hierarchy — a thread holds at most one tracked lock at a time,
+// and a condition variable is only ever waited on while holding exactly
+// the mutex it is paired with:
 //
 //   level 1  comm_registry  (RuntimeState::comm_mtx_)
 //   level 2  oob_barrier    (OobBarrier::mtx_)
@@ -15,6 +16,7 @@
 //   level 4  buffer_pool    (BufferPool::mtx_; one per simulated process)
 //   level 5  stall_info     (RuntimeState stall-report slot; always a leaf)
 //   level 6  error_capture  (ErrorSlot::mtx_; always a leaf)
+//   level 7  plan_cache     (cartcomm PlanCacheShard::mtx_; always a leaf)
 //
 // CheckedMutex<Level> is a std::mutex wrapper that carries the hierarchy
 // level in its type and a Clang Thread Safety Analysis capability on the
@@ -73,6 +75,11 @@ enum class LockLevel : int {
   /// stores its exception, releases, and only then aborts the runtime —
   /// so this too is always a leaf.
   error_capture = 6,
+  /// Cartesian compiled-plan cache shards (src/cartcomm/plan.cpp). A shard
+  /// lock protects only its map; plan compilation and datatype binding
+  /// happen outside the lock, so nothing is ever acquired under it — a
+  /// leaf by construction.
+  plan_cache = 7,
 };
 
 #ifdef MPL_CHECKED
@@ -148,6 +155,7 @@ class LockTracker {
       case LockLevel::buffer_pool: return "buffer_pool";
       case LockLevel::stall_info: return "stall_info";
       case LockLevel::error_capture: return "error_capture";
+      case LockLevel::plan_cache: return "plan_cache";
     }
     return "?";
   }
@@ -321,5 +329,6 @@ using MailboxMutex = CheckedMutex<LockLevel::mailbox>;
 using BufferPoolMutex = CheckedMutex<LockLevel::buffer_pool>;
 using StallInfoMutex = CheckedMutex<LockLevel::stall_info>;
 using ErrorCaptureMutex = CheckedMutex<LockLevel::error_capture>;
+using PlanCacheMutex = CheckedMutex<LockLevel::plan_cache>;
 
 }  // namespace mpl::detail

@@ -254,13 +254,40 @@ void Comm::isend_core(Channel ch, const void* buf, int count,
 
 Request Comm::irecv_on(Channel ch, void* buf, int count, const Datatype& type,
                        int src, int tag) const {
+  return irecv_slot(ch, buf, count, type, src, tag, nullptr);
+}
+
+Request Comm::irecv_reuse(std::shared_ptr<detail::ReqState>& slot, void* buf,
+                          int count, const Datatype& type, int src,
+                          int tag) const {
+  return irecv_slot(Channel::user, buf, count, type, src, tag, &slot);
+}
+
+Request Comm::irecv_slot(Channel ch, void* buf, int count, const Datatype& type,
+                         int src, int tag,
+                         std::shared_ptr<detail::ReqState>* slot) const {
   MPL_REQUIRE(valid(), "irecv on invalid communicator");
   MPL_REQUIRE(count >= 0, "irecv: negative count");
   MPL_REQUIRE(tag >= 0 || tag == ANY_TAG, "irecv: invalid tag");
   MPL_REQUIRE(src == ANY_SOURCE || src == PROC_NULL || (src >= 0 && src < size()),
               "irecv: source rank out of range");
 
-  auto st = std::make_shared<detail::ReqState>();
+  // Recycle the caller's slot only when the previous cycle is fully over:
+  // completion observed (the acquire pairs with the deliverer's release
+  // store, ordering its field writes before our reset) and no other
+  // reference alive — the mailbox drops its copy at match time and any
+  // Request handle must have been destroyed by the caller. Anything less
+  // falls back to a fresh allocation, so reuse is never a correctness
+  // hazard, only an optimization that usually applies.
+  std::shared_ptr<detail::ReqState> st;
+  if (slot && *slot && slot->use_count() == 1 &&
+      (*slot)->done.load(std::memory_order_acquire)) {
+    st = *slot;
+    st->reset_for_reuse();
+  } else {
+    st = std::make_shared<detail::ReqState>();
+    if (slot) *slot = st;
+  }
   st->kind = detail::ReqState::Kind::recv;
   if (src == PROC_NULL) {
     st->done = true;

@@ -104,6 +104,16 @@ class Comm {
                    int dest, int tag = 0) const;
   Request irecv_on(Channel ch, void* buf, int count, const Datatype& type,
                    int src, int tag = 0) const;
+
+  /// irecv that recycles the caller-held request state in `slot` when it
+  /// can (previous cycle complete, no other reference alive), so a
+  /// steady-state persistent collective reposts its receives without any
+  /// heap allocation. When the slot is empty or still referenced a fresh
+  /// state is allocated and stored back into it. Behaviour is otherwise
+  /// identical to irecv().
+  Request irecv_reuse(std::shared_ptr<detail::ReqState>& slot, void* buf,
+                      int count, const Datatype& type, int src,
+                      int tag = 0) const;
   Status sendrecv_on(Channel ch, const void* sendbuf, int sendcount,
                      const Datatype& sendtype, int dest, int sendtag,
                      void* recvbuf, int recvcount, const Datatype& recvtype,
@@ -176,6 +186,13 @@ class Comm {
   // singleton anyway, so the hot path skips even its refcount traffic.
   void isend_core(Channel ch, const void* buf, int count, const Datatype& type,
                   int dest, int tag) const;
+
+  // Shared body of irecv_on and irecv_reuse: when `slot` is non-null the
+  // state it holds is recycled if possible and the state used is stored
+  // back into it.
+  Request irecv_slot(Channel ch, void* buf, int count, const Datatype& type,
+                     int src, int tag,
+                     std::shared_ptr<detail::ReqState>* slot) const;
 
   // Collectively create a sub-communicator over the given members (process
   // pointers in new-rank order; parent ranks in the same order).

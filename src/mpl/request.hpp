@@ -69,6 +69,25 @@ struct ReqState {
 
   // Receiver-side delivery error (e.g. truncation); thrown from wait/test.
   std::string error;
+
+  /// Reset the completion-cycle fields so a drained state can be reposted
+  /// (the persistent-collective zero-allocation path). The caller must
+  /// have observed done == true with acquire semantics and hold the only
+  /// reference (no mailbox or Request copy alive); matching and layout
+  /// fields are overwritten by the reposting code, so only the flags that
+  /// would otherwise leak a previous completion are cleared here.
+  void reset_for_reuse() {
+    done.store(false, std::memory_order_relaxed);
+    model_accounted = false;
+    blocks = 1;
+    status = Status{};
+    depart = 0.0;
+    arrive_wall = -1.0;
+    from_self = false;
+    null_recv = false;
+    truncated = false;
+    error.clear();
+  }
 };
 
 }  // namespace detail

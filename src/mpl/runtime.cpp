@@ -57,6 +57,7 @@ void gather_metrics(
     s.pool.free_watermark = std::max(s.pool.free_watermark, ps.free_watermark);
   }
   s.contention = telemetry::contention_totals();
+  s.plan_cache = telemetry::plan_cache_totals();
 }
 
 // Write one OpenMetrics snapshot to `path` (`-` = stdout). Returns an
@@ -131,6 +132,7 @@ void run(int nprocs, const std::function<void(Comm&)>& fn,
       telems.push_back(std::make_unique<telemetry::RankTelemetry>(r));
     }
     telemetry::contention_arm(true);  // resets totals for this run
+    telemetry::plan_cache_counters_reset();  // same observation window
   }
   ContentionDisarmGuard contention_guard;
   std::vector<std::pair<std::string, double>> meta{

@@ -93,6 +93,18 @@ void write_openmetrics(std::ostream& os, const MetricsSnapshot& snap) {
         "Highest per-rank freelist depth observed (pool occupancy watermark).",
         static_cast<double>(snap.pool.free_watermark));
 
+  counter(os, "mpl_plan_cache_hits",
+          "Compiled-plan cache lookups served from the cache.",
+          snap.plan_cache.hits);
+  counter(os, "mpl_plan_cache_misses",
+          "Compiled-plan cache lookups that compiled a new plan.",
+          snap.plan_cache.misses);
+  counter(os, "mpl_plan_cache_evictions",
+          "Compiled plans evicted by the cache capacity bound.",
+          snap.plan_cache.evictions);
+  gauge(os, "mpl_plan_cache_entries", "Compiled plans currently cached.",
+        static_cast<double>(snap.plan_cache.entries));
+
   os << "# TYPE mpl_lock_acquisitions counter\n";
   os << "# HELP mpl_lock_acquisitions Tracked mutex acquisitions by lock "
         "level.\n";

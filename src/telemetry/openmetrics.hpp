@@ -17,6 +17,7 @@
 
 #include "telemetry/contention.hpp"
 #include "telemetry/histogram.hpp"
+#include "telemetry/plan_cache.hpp"
 
 namespace telemetry {
 
@@ -48,6 +49,7 @@ struct MetricsSnapshot {
   Histogram msg_bytes;
   PoolGauges pool;
   ContentionTotals contention;
+  PlanCacheTotals plan_cache;
   /// Extra gauge families appended verbatim (e.g. trace-layer counter
   /// totals when the tracer's metrics happen to be armed). Names must
   /// already be valid metric names; the writer adds the `mpl_` prefix.

@@ -1,0 +1,72 @@
+// Plan-cache counters: process-global, lock-free tallies of the cartcomm
+// compiled-plan cache (hits, misses, evictions, live entries).
+//
+// Same layering contract as contention.hpp: this header holds only inline
+// atomics and inline accessors so the telemetry layer stays free of
+// cartcomm types, the cache implementation (src/cartcomm/plan.cpp) bumps
+// the counters from wherever it runs, and the exporter
+// (telemetry/openmetrics.cpp via the runtime's gather_metrics) reads a
+// tear-free-per-metric snapshot. Hit/miss/eviction totals are reset when
+// telemetry arms (one run = one observation window, like the contention
+// probes); the entry gauge tracks the cache's live size and is never
+// reset by arming — the cache itself outlives individual mpl::run calls.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace telemetry {
+
+struct PlanCacheTotals {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t entries = 0;  // live cached plans (gauge, not reset on arm)
+};
+
+namespace detail {
+inline std::atomic<std::uint64_t> g_plan_cache_hits{0};
+inline std::atomic<std::uint64_t> g_plan_cache_misses{0};
+inline std::atomic<std::uint64_t> g_plan_cache_evictions{0};
+inline std::atomic<std::int64_t> g_plan_cache_entries{0};
+}  // namespace detail
+
+inline void on_plan_cache_hit() noexcept {
+  detail::g_plan_cache_hits.fetch_add(1, std::memory_order_relaxed);
+}
+inline void on_plan_cache_miss() noexcept {
+  detail::g_plan_cache_misses.fetch_add(1, std::memory_order_relaxed);
+}
+inline void on_plan_cache_insert() noexcept {
+  detail::g_plan_cache_entries.fetch_add(1, std::memory_order_relaxed);
+}
+inline void on_plan_cache_evict() noexcept {
+  detail::g_plan_cache_evictions.fetch_add(1, std::memory_order_relaxed);
+  detail::g_plan_cache_entries.fetch_sub(1, std::memory_order_relaxed);
+}
+/// Bulk removal (plan_cache_clear, not an eviction): drop `n` live entries.
+inline void on_plan_cache_drop(std::uint64_t n) noexcept {
+  detail::g_plan_cache_entries.fetch_sub(static_cast<std::int64_t>(n),
+                                         std::memory_order_relaxed);
+}
+
+inline PlanCacheTotals plan_cache_totals() noexcept {
+  PlanCacheTotals t;
+  t.hits = detail::g_plan_cache_hits.load(std::memory_order_relaxed);
+  t.misses = detail::g_plan_cache_misses.load(std::memory_order_relaxed);
+  t.evictions = detail::g_plan_cache_evictions.load(std::memory_order_relaxed);
+  const std::int64_t e =
+      detail::g_plan_cache_entries.load(std::memory_order_relaxed);
+  t.entries = e > 0 ? static_cast<std::uint64_t>(e) : 0;
+  return t;
+}
+
+/// Reset the per-run counters (arming telemetry). The entry gauge is left
+/// alone: it mirrors the cache's live contents, which persist across runs.
+inline void plan_cache_counters_reset() noexcept {
+  detail::g_plan_cache_hits.store(0, std::memory_order_relaxed);
+  detail::g_plan_cache_misses.store(0, std::memory_order_relaxed);
+  detail::g_plan_cache_evictions.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace telemetry

@@ -20,6 +20,7 @@ const char* lock_level_name(int level) noexcept {
     case 4: return "buffer_pool";
     case 5: return "stall_info";
     case 6: return "error_capture";
+    case 7: return "plan_cache";
     default: return "?";
   }
 }

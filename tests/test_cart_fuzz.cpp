@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "cart_test_util.hpp"
+#include "cartcomm/plan.hpp"
 #include "verify/verify.hpp"
 
 using cartcomm::Algorithm;
@@ -212,13 +213,24 @@ TEST(CartFuzz, CombinedMatchesTrivialAndVerifies) {
     const std::uint64_t seed = g_base_seed + static_cast<std::uint64_t>(it);
     std::mt19937_64 rng(seed);
     const FuzzCase fc = draw_case(rng);
-    SCOPED_TRACE("fuzz seed " + std::to_string(seed) + ": " + fc.describe());
+    // Plan-cache fuzzing: randomly flip the cache on or off per iteration
+    // (and occasionally flush it) so every drawn configuration exercises
+    // both the compile-and-cache and the direct-build paths; the
+    // element-exact combining/trivial/oracle cross-check below is the
+    // cached-vs-uncached equivalence test. Decided from the iteration rng
+    // (after draw_case) so the drawn cases stay replayable by seed.
+    const bool cache_on = rng() % 2 == 0;
+    cartcomm::plan_cache_set_enabled(cache_on);
+    if (rng() % 8 == 0) cartcomm::plan_cache_clear();
+    SCOPED_TRACE("fuzz seed " + std::to_string(seed) + ": " + fc.describe() +
+                 (cache_on ? " [plan cache on]" : " [plan cache off]"));
     run_case(fc);
     if (::testing::Test::HasFailure()) {
       log_failing_seed(seed);
       break;
     }
   }
+  cartcomm::plan_cache_set_enabled(true);  // restore the default
 }
 
 int main(int argc, char** argv) {

@@ -1,0 +1,361 @@
+// Compiled-plan cache (src/cartcomm/plan.*): cache-hit schedules must be
+// bit-identical to freshly built ones (same comm, a second comm with the
+// same signature, and versus the cache-disabled path), virtual clocks must
+// be unchanged by caching (including under a deterministic fault plan),
+// the sharded cache must survive a mixed hit/miss/evict hammer from all
+// ranks, and the counters must flow through to OpenMetrics.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cart_test_util.hpp"
+#include "cartcomm/plan.hpp"
+#include "telemetry/openmetrics.hpp"
+#include "telemetry/plan_cache.hpp"
+
+using cartcomm::Algorithm;
+using cartcomm::Neighborhood;
+
+namespace {
+
+/// Every test starts from (and leaves behind) the default cache state:
+/// enabled, default cap, empty.
+class PlanCache : public ::testing::Test {
+ protected:
+  void SetUp() override { reset(); }
+  void TearDown() override { reset(); }
+
+  static void reset() {
+    cartcomm::plan_cache_set_enabled(true);
+    cartcomm::plan_cache_set_cap(256);
+    cartcomm::plan_cache_clear();
+  }
+};
+
+/// Build one combining alltoall_init on a 3x3 torus with the Moore
+/// neighborhood and return every rank's Schedule::dump(). `m` varies the
+/// block size (and therefore the cache key).
+std::vector<std::string> alltoall_dumps(int m,
+                                        const mpl::RunOptions& opts = {}) {
+  std::vector<std::string> dumps(9);
+  mpl::run(
+      9,
+      [&](mpl::Comm& world) {
+        const Neighborhood nb = Neighborhood::moore(2);
+        const std::vector<int> dims{3, 3};
+        auto cc = cartcomm::cart_neighborhood_create(world, dims, {}, nb);
+        const int t = nb.count();
+        std::vector<int> sb(static_cast<std::size_t>(t) * m);
+        std::vector<int> rb(static_cast<std::size_t>(t) * m);
+        auto op = cartcomm::alltoall_init(sb.data(), m, mpl::Datatype::of<int>(),
+                                          rb.data(), m, mpl::Datatype::of<int>(),
+                                          cc, Algorithm::combining);
+        dumps[static_cast<std::size_t>(world.rank())] = op.schedule().dump();
+      },
+      opts);
+  return dumps;
+}
+
+/// One full combining alltoall (executed, element-checked) per rank;
+/// returns every rank's virtual clock at the end of the run.
+std::vector<double> alltoall_vclocks(const mpl::RunOptions& opts, int m,
+                                     int reps) {
+  std::vector<double> clocks(9);
+  mpl::run(
+      9,
+      [&](mpl::Comm& world) {
+        const Neighborhood nb = Neighborhood::moore(2);
+        const std::vector<int> dims{3, 3};
+        auto cc = cartcomm::cart_neighborhood_create(world, dims, {}, nb);
+        const int t = nb.count();
+        std::vector<int> sb(static_cast<std::size_t>(t) * m);
+        for (int i = 0; i < t; ++i)
+          for (int e = 0; e < m; ++e)
+            sb[static_cast<std::size_t>(i) * m + e] =
+                carttest::pattern(world.rank(), i, e);
+        for (int rep = 0; rep < reps; ++rep) {
+          std::vector<int> rb(static_cast<std::size_t>(t) * m, -777);
+          cartcomm::alltoall(sb.data(), m, mpl::Datatype::of<int>(), rb.data(),
+                             m, mpl::Datatype::of<int>(), cc,
+                             Algorithm::combining);
+          for (int i = 0; i < t; ++i) {
+            const int src = cc.source_ranks()[static_cast<std::size_t>(i)];
+            for (int e = 0; e < m; ++e) {
+              ASSERT_EQ(rb[static_cast<std::size_t>(i) * m + e],
+                        carttest::pattern(src, i, e))
+                  << "rank " << world.rank() << " rep " << rep << " block "
+                  << i;
+            }
+          }
+        }
+        clocks[static_cast<std::size_t>(world.rank())] = world.vclock();
+      },
+      opts);
+  return clocks;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Bit-identical schedules on cache hits
+// ---------------------------------------------------------------------------
+
+TEST_F(PlanCache, RepeatedInitOnSameCommIsBitIdentical) {
+  const auto before = telemetry::plan_cache_totals();
+  const auto first = alltoall_dumps(3);
+  // Torus: every position has the same boundary signature, so all nine
+  // ranks share one cached plan.
+  EXPECT_EQ(cartcomm::plan_cache_size(), 1u);
+  const auto second = alltoall_dumps(3);
+  EXPECT_EQ(cartcomm::plan_cache_size(), 1u);
+  for (int r = 0; r < 9; ++r) {
+    EXPECT_EQ(first[static_cast<std::size_t>(r)],
+              second[static_cast<std::size_t>(r)])
+        << "rank " << r;
+  }
+  const auto after = telemetry::plan_cache_totals();
+  EXPECT_GT(after.hits, before.hits);  // second run: all hits
+}
+
+TEST_F(PlanCache, SecondCommWithSameSignatureSharesThePlan) {
+  std::vector<std::string> first(9), second(9);
+  mpl::run(9, [&](mpl::Comm& world) {
+    const Neighborhood nb = Neighborhood::moore(2);
+    const std::vector<int> dims{3, 3};
+    auto cc1 = cartcomm::cart_neighborhood_create(world, dims, {}, nb);
+    auto cc2 = cartcomm::cart_neighborhood_create(world, dims, {}, nb);
+    const int t = nb.count();
+    std::vector<int> sb(static_cast<std::size_t>(t) * 2);
+    std::vector<int> rb(static_cast<std::size_t>(t) * 2);
+    auto op1 = cartcomm::alltoall_init(sb.data(), 2, mpl::Datatype::of<int>(),
+                                       rb.data(), 2, mpl::Datatype::of<int>(),
+                                       cc1, Algorithm::combining);
+    auto op2 = cartcomm::alltoall_init(sb.data(), 2, mpl::Datatype::of<int>(),
+                                       rb.data(), 2, mpl::Datatype::of<int>(),
+                                       cc2, Algorithm::combining);
+    first[static_cast<std::size_t>(world.rank())] = op1.schedule().dump();
+    second[static_cast<std::size_t>(world.rank())] = op2.schedule().dump();
+  });
+  // Distinct communicators, identical signature: one cache entry, and the
+  // schedules bound from the shared plan are bit-identical.
+  EXPECT_EQ(cartcomm::plan_cache_size(), 1u);
+  for (int r = 0; r < 9; ++r) {
+    EXPECT_EQ(first[static_cast<std::size_t>(r)],
+              second[static_cast<std::size_t>(r)])
+        << "rank " << r;
+  }
+}
+
+TEST_F(PlanCache, CachedScheduleMatchesUncachedBuild) {
+  const auto cached = alltoall_dumps(4);   // miss, then 8 hits
+  const auto cached2 = alltoall_dumps(4);  // all hits
+  cartcomm::plan_cache_set_enabled(false);
+  cartcomm::plan_cache_clear();
+  const auto uncached = alltoall_dumps(4);
+  EXPECT_EQ(cartcomm::plan_cache_size(), 0u);
+  for (int r = 0; r < 9; ++r) {
+    EXPECT_EQ(cached[static_cast<std::size_t>(r)],
+              uncached[static_cast<std::size_t>(r)])
+        << "rank " << r;
+    EXPECT_EQ(cached2[static_cast<std::size_t>(r)],
+              uncached[static_cast<std::size_t>(r)])
+        << "rank " << r;
+  }
+}
+
+TEST_F(PlanCache, MeshBoundarySignaturesGetDistinctEntriesButIdenticalBinds) {
+  // Non-periodic mesh: corner/edge/interior positions have different
+  // boundary signatures, so the cache holds several entries — and a rerun
+  // must still reproduce every rank's schedule exactly.
+  const std::vector<int> mesh_periods{0, 0};
+  std::vector<std::string> first(9), second(9);
+  auto build = [&](std::vector<std::string>& out) {
+    mpl::run(9, [&](mpl::Comm& world) {
+      const Neighborhood nb = Neighborhood::moore(2);
+      const std::vector<int> dims{3, 3};
+      auto cc =
+          cartcomm::cart_neighborhood_create(world, dims, mesh_periods, nb);
+      const int t = nb.count();
+      std::vector<int> sb(static_cast<std::size_t>(t)), rb(static_cast<std::size_t>(t));
+      auto op = cartcomm::alltoall_init(sb.data(), 1, mpl::Datatype::of<int>(),
+                                        rb.data(), 1, mpl::Datatype::of<int>(),
+                                        cc, Algorithm::combining);
+      out[static_cast<std::size_t>(world.rank())] = op.schedule().dump();
+    });
+  };
+  build(first);
+  const std::size_t entries = cartcomm::plan_cache_size();
+  EXPECT_GT(entries, 1u);  // 3x3 mesh: corner/edge/center signatures
+  EXPECT_LE(entries, 9u);
+  build(second);
+  EXPECT_EQ(cartcomm::plan_cache_size(), entries);  // all hits, no growth
+  for (int r = 0; r < 9; ++r) {
+    EXPECT_EQ(first[static_cast<std::size_t>(r)],
+              second[static_cast<std::size_t>(r)])
+        << "rank " << r;
+  }
+}
+
+TEST_F(PlanCache, AllgatherHitsAreBitIdentical) {
+  std::vector<std::string> first(8), second(8);
+  auto build = [&](std::vector<std::string>& out) {
+    mpl::run(8, [&](mpl::Comm& world) {
+      const Neighborhood nb = Neighborhood::stencil(3, 3, -1);
+      const std::vector<int> dims{2, 2, 2};
+      auto cc = cartcomm::cart_neighborhood_create(world, dims, {}, nb);
+      const int t = nb.count();
+      std::vector<int> sb(4), rb(static_cast<std::size_t>(t) * 4);
+      auto op = cartcomm::allgather_init(sb.data(), 4, mpl::Datatype::of<int>(),
+                                         rb.data(), 4, mpl::Datatype::of<int>(),
+                                         cc, Algorithm::combining);
+      out[static_cast<std::size_t>(world.rank())] = op.schedule().dump();
+    });
+  };
+  build(first);
+  EXPECT_EQ(cartcomm::plan_cache_size(), 1u);
+  build(second);
+  for (int r = 0; r < 8; ++r) {
+    EXPECT_EQ(first[static_cast<std::size_t>(r)],
+              second[static_cast<std::size_t>(r)])
+        << "rank " << r;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Virtual clocks: caching must not change what the network sees
+// ---------------------------------------------------------------------------
+
+TEST_F(PlanCache, VirtualClocksMatchUncachedRun) {
+  mpl::RunOptions opts;
+  opts.net = mpl::NetConfig::omnipath();
+  const auto cached = alltoall_vclocks(opts, 4, 3);
+  cartcomm::plan_cache_set_enabled(false);
+  cartcomm::plan_cache_clear();
+  const auto uncached = alltoall_vclocks(opts, 4, 3);
+  for (int r = 0; r < 9; ++r) {
+    EXPECT_DOUBLE_EQ(cached[static_cast<std::size_t>(r)],
+                     uncached[static_cast<std::size_t>(r)])
+        << "rank " << r;
+  }
+}
+
+TEST_F(PlanCache, VirtualClocksMatchUncachedRunUnderFaults) {
+  // The fault plan is deterministic in (seed, rank, sequence); identical
+  // schedules must therefore see identical drops/delays and land on
+  // identical virtual clocks whether or not the plan came from the cache.
+  mpl::RunOptions opts;
+  opts.net = mpl::NetConfig::omnipath();
+  opts.faults =
+      mpl::FaultConfig::parse("seed=3,drop=0.05,delay=1e-6,delay_prob=0.5");
+  const auto cached = alltoall_vclocks(opts, 2, 3);
+  cartcomm::plan_cache_set_enabled(false);
+  cartcomm::plan_cache_clear();
+  const auto uncached = alltoall_vclocks(opts, 2, 3);
+  for (int r = 0; r < 9; ++r) {
+    EXPECT_DOUBLE_EQ(cached[static_cast<std::size_t>(r)],
+                     uncached[static_cast<std::size_t>(r)])
+        << "rank " << r;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Concurrency: mixed hit/miss/evict hammer from all ranks
+// ---------------------------------------------------------------------------
+
+TEST_F(PlanCache, HammerMixedSignaturesUnderTinyCap) {
+  // Tiny cap: per-shard cap is (4+7)/8 = 1, so at most 8 entries survive
+  // and six distinct signatures force constant insert/evict churn while
+  // nine rank threads race lookups. Every iteration is element-checked.
+  cartcomm::plan_cache_set_cap(4);
+  const auto before = telemetry::plan_cache_totals();
+  mpl::run(9, [&](mpl::Comm& world) {
+    const Neighborhood nb = Neighborhood::moore(2);
+    const std::vector<int> dims{3, 3};
+    auto cc = cartcomm::cart_neighborhood_create(world, dims, {}, nb);
+    const int t = nb.count();
+    for (int iter = 0; iter < 12; ++iter) {
+      const int m = 1 + iter % 6;  // six distinct cache keys
+      std::vector<int> sb(static_cast<std::size_t>(t) * m);
+      std::vector<int> rb(static_cast<std::size_t>(t) * m, -777);
+      for (int i = 0; i < t; ++i)
+        for (int e = 0; e < m; ++e)
+          sb[static_cast<std::size_t>(i) * m + e] =
+              carttest::pattern(world.rank(), i, e);
+      cartcomm::alltoall(sb.data(), m, mpl::Datatype::of<int>(), rb.data(), m,
+                         mpl::Datatype::of<int>(), cc, Algorithm::combining);
+      for (int i = 0; i < t; ++i) {
+        const int src = cc.source_ranks()[static_cast<std::size_t>(i)];
+        for (int e = 0; e < m; ++e) {
+          ASSERT_EQ(rb[static_cast<std::size_t>(i) * m + e],
+                    carttest::pattern(src, i, e))
+              << "rank " << world.rank() << " iter " << iter << " block " << i;
+        }
+      }
+    }
+  });
+  EXPECT_LE(cartcomm::plan_cache_size(), 8u);  // 8 shards x per-shard cap 1
+  const auto after = telemetry::plan_cache_totals();
+  // 9 ranks x 12 iterations: every build either hit or missed.
+  EXPECT_EQ((after.hits - before.hits) + (after.misses - before.misses),
+            9u * 12u);
+  EXPECT_GT(after.hits, before.hits);
+}
+
+TEST_F(PlanCache, CapRespectedAcrossManySignatures) {
+  cartcomm::plan_cache_set_cap(8);
+  for (int m = 1; m <= 20; ++m) alltoall_dumps(m);
+  EXPECT_LE(cartcomm::plan_cache_size(), 16u);  // 8 shards x cap (8+7)/8 = 2
+  const auto totals = telemetry::plan_cache_totals();
+  EXPECT_GT(totals.evictions, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Disabled mode
+// ---------------------------------------------------------------------------
+
+TEST_F(PlanCache, DisabledCacheStoresNothingAndCountsNothing) {
+  cartcomm::plan_cache_set_enabled(false);
+  cartcomm::plan_cache_clear();
+  const auto before = telemetry::plan_cache_totals();
+  const auto a = alltoall_dumps(5);
+  const auto b = alltoall_dumps(5);
+  EXPECT_EQ(cartcomm::plan_cache_size(), 0u);
+  const auto after = telemetry::plan_cache_totals();
+  EXPECT_EQ(after.hits, before.hits);
+  EXPECT_EQ(after.misses, before.misses);
+  for (int r = 0; r < 9; ++r) {
+    EXPECT_EQ(a[static_cast<std::size_t>(r)], b[static_cast<std::size_t>(r)]);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Counters reach OpenMetrics
+// ---------------------------------------------------------------------------
+
+TEST_F(PlanCache, CountersAppearInOpenMetrics) {
+  telemetry::MetricsSnapshot snap;
+  snap.plan_cache.hits = 17;
+  snap.plan_cache.misses = 3;
+  snap.plan_cache.evictions = 2;
+  snap.plan_cache.entries = 1;
+  std::ostringstream os;
+  telemetry::write_openmetrics(os, snap);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("mpl_plan_cache_hits_total 17\n"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("mpl_plan_cache_misses_total 3\n"), std::string::npos);
+  EXPECT_NE(text.find("mpl_plan_cache_evictions_total 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("mpl_plan_cache_entries 1\n"), std::string::npos);
+}
+
+TEST_F(PlanCache, LiveCountersFlowIntoTotals) {
+  const auto before = telemetry::plan_cache_totals();
+  alltoall_dumps(6);  // one compile (miss + insert), eight hits
+  const auto after = telemetry::plan_cache_totals();
+  EXPECT_EQ(after.misses - before.misses, 1u);
+  EXPECT_EQ(after.hits - before.hits, 8u);
+  EXPECT_EQ(after.entries, before.entries + 1);
+}

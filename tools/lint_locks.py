@@ -684,15 +684,16 @@ def main(argv: list[str]) -> int:
     lint = Linter(hier, args.max_escapes)
     lint.check_hierarchy(str(checked.relative_to(root))
                          if checked.is_relative_to(root) else str(checked))
-    # Default scan set: the transport plus the telemetry layer, which is
-    # documented lock-free — scanning it proves no raw primitive sneaks in.
+    # Default scan set: the transport, the telemetry layer (documented
+    # lock-free — scanning it proves no raw primitive sneaks in), and the
+    # cartcomm layer (whose only lock is the plan cache's PlanCacheMutex).
     # Optional defaults are filtered to what exists so reduced trees (the
     # lint's own test fixtures) stay lintable; explicit --scan dirs are
     # passed through untouched and still error when missing.
     if args.scan:
         scan_dirs = args.scan
     else:
-        scan_dirs = ["src/mpl"] + [d for d in ("src/telemetry",)
+        scan_dirs = ["src/mpl"] + [d for d in ("src/telemetry", "src/cartcomm")
                                    if (root / d).is_dir()]
     lint.scan_tree(root, scan_dirs)
     lint.replay()
