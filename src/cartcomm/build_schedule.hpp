@@ -55,4 +55,22 @@ Schedule build_allgather_schedule(const CartNeighborComm& cc,
     std::span<const RecvBlock> recvs,
     DimOrder order = DimOrder::increasing_ck);
 
+/// Reducing schedules (the allgather tree run in reverse with
+/// combine-on-unpack; reduce_schedule.cpp). `sends` holds one block for
+/// ReduceVariant::reduce and t blocks for reduce_scatter; `recv` is the
+/// single result block. All blocks must be dense (extent == packed size)
+/// with a byte size that is a multiple of the op element. With
+/// `combining = false` the trivial one-phase schedule is built (required
+/// for non-commutative ops).
+Schedule build_reduce_schedule(const CartNeighborComm& cc,
+                               std::span<const SendBlock> sends,
+                               const RecvBlock& recv, const mpl::ReduceOp& op,
+                               ReduceVariant variant, bool combining,
+                               DimOrder order = DimOrder::increasing_ck);
+
+[[nodiscard]] std::shared_ptr<BoundSchedule> build_reduce_schedule_shared(
+    const CartNeighborComm& cc, std::span<const SendBlock> sends,
+    const RecvBlock& recv, const mpl::ReduceOp& op, ReduceVariant variant,
+    bool combining, DimOrder order = DimOrder::increasing_ck);
+
 }  // namespace cartcomm

@@ -84,7 +84,7 @@ void PersistentColl::execute() const {
   detail::PersistentState& st = *st_;
   MPL_REQUIRE(!st.in_flight,
               "PersistentColl::execute: an execution is already in flight");
-  if (st.alg == Algorithm::combining) {
+  if (st.alg == Algorithm::combining || st.sched_based) {
     // Route through the scratch so repeated blocking executions run with
     // zero setup and zero allocation, like the start()/wait() path.
     st.in_flight = true;
@@ -121,7 +121,7 @@ CartRequest PersistentColl::start() const {
   CartRequest r;
   r.st_ = st_;  // co-ownership: the request outlives this handle if need be
   r.done_ = false;
-  if (st.alg == Algorithm::combining) {
+  if (st.alg == Algorithm::combining || st.sched_based) {
     r.combining_ = true;
     r.exec_ = st.sched.start(st.comm, st.scratch);
     r.done_ = r.exec_.done();
@@ -200,8 +200,9 @@ void CartRequest::wait() {
 }
 
 const Schedule& PersistentColl::schedule() const {
-  MPL_REQUIRE(st_ != nullptr && st_->alg == Algorithm::combining,
-              "schedule(): only available for the combining algorithm");
+  MPL_REQUIRE(st_ != nullptr &&
+                  (st_->alg == Algorithm::combining || st_->sched_based),
+              "schedule(): only available for schedule-native operations");
   return st_->sched;
 }
 

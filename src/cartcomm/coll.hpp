@@ -40,7 +40,12 @@ struct PersistentState {
   mpl::Comm comm;
   Algorithm alg = Algorithm::trivial;
   bool allgather = false;
-  Schedule sched;            // combining only
+  /// Executes through `sched` regardless of `alg`. Set by the reducing
+  /// collectives, whose *trivial* algorithm is also schedule-native (the
+  /// fold program needs the executor); movement collectives leave it false
+  /// and use the block/rank tables below for the trivial path.
+  bool sched_based = false;
+  Schedule sched;            // combining (and sched_based trivial)
   ExecutionScratch scratch;  // combining: reused request table + slots
   // Trivial plan: per-neighbor blocks and partner ranks (Listing 4).
   std::vector<SendBlock> sends;
@@ -110,12 +115,15 @@ class PersistentColl {
     return st_ ? st_->alg : Algorithm::trivial;
   }
 
-  /// The message-combining schedule (valid only when algorithm() ==
-  /// Algorithm::combining); used by tests and benchmarks for introspection.
+  /// The precomputed schedule (valid when algorithm() ==
+  /// Algorithm::combining, and for every reducing collective — their
+  /// trivial algorithm is schedule-native too); used by tests and
+  /// benchmarks for introspection.
   [[nodiscard]] const Schedule& schedule() const;
 
  private:
   friend class CollBuilder;
+  friend class ReduceBuilder;
 
   std::shared_ptr<detail::PersistentState> st_;
 };

@@ -21,6 +21,23 @@ namespace cartcomm {
 Schedule CompiledPlan::bind(const CartNeighborComm& cc,
                             std::span<const SendBlock> sends,
                             std::span<const RecvBlock> recvs) const {
+  MPL_REQUIRE(folds_.empty(),
+              "CompiledPlan::bind: reducing plan bound without an op");
+  return bind_impl(cc, sends, recvs, nullptr);
+}
+
+Schedule CompiledPlan::bind(const CartNeighborComm& cc,
+                            std::span<const SendBlock> sends,
+                            std::span<const RecvBlock> recvs,
+                            const mpl::ReduceOp& op) const {
+  MPL_REQUIRE(op.valid(), "CompiledPlan::bind: invalid reduce op");
+  return bind_impl(cc, sends, recvs, &op);
+}
+
+Schedule CompiledPlan::bind_impl(const CartNeighborComm& cc,
+                                 std::span<const SendBlock> sends,
+                                 std::span<const RecvBlock> recvs,
+                                 const mpl::ReduceOp* op) const {
   const mpl::CartGrid& grid = cc.grid();
   const std::span<const int> R = cc.coords();
 
@@ -62,7 +79,7 @@ Schedule CompiledPlan::bind(const CartNeighborComm& cc,
       // non-periodic mesh, so a null partner here is a provable boundary.
       builder.add_round({sendrank, recvrank, sb.build(), rb.build(), r.offset,
                          sendrank == mpl::PROC_NULL,
-                         recvrank == mpl::PROC_NULL},
+                         recvrank == mpl::PROC_NULL, r.reduce},
                         r.blocks_sent);
     }
     builder.end_phase();
@@ -72,6 +89,32 @@ Schedule CompiledPlan::bind(const CartNeighborComm& cc,
     append(sb, c.src);
     append(rb, c.dst);
     builder.add_copy(sb.build(), rb.build());
+  }
+  if (op != nullptr) {
+    // Resolve the fold program against the same buffers. The reduce entry
+    // points guarantee dense block layouts whose byte size is a multiple
+    // of the op element, so a placement resolves to its base address.
+    auto addr_of = [&](const PlanPlacement& p) -> void* {
+      switch (p.kind) {
+        case PlanPlacement::Kind::send_block:
+          return const_cast<void*>(sends[static_cast<std::size_t>(p.index)].addr);
+        case PlanPlacement::Kind::recv_block:
+          return recvs[static_cast<std::size_t>(p.index)].addr;
+        case PlanPlacement::Kind::temp:
+          return temp + p.offset;
+      }
+      return nullptr;
+    };
+    builder.set_op(*op);
+    for (const PlanFold& f : folds_) {
+      ScheduleFold sf;
+      sf.dst = addr_of(f.dst);
+      sf.src = f.identity ? nullptr : addr_of(f.src);
+      sf.count = f.count;
+      sf.phase = f.phase;
+      sf.init = f.init;
+      builder.add_fold(sf);
+    }
   }
   return builder.finish();
 }
@@ -160,6 +203,24 @@ PlanKey make_allgather_key(const CartNeighborComm& cc, const SendBlock& send,
   w.push_back(static_cast<std::int64_t>(send.bytes()));
   w.push_back(type_digest(send.type, send.count));
   for (const RecvBlock& r : recvs) w.push_back(type_digest(r.type, r.count));
+  return seal(std::move(w));
+}
+
+PlanKey make_reduce_key(const CartNeighborComm& cc, ReduceVariant variant,
+                        bool combining, DimOrder order, const SendBlock& send,
+                        const mpl::ReduceOp& op) {
+  std::vector<std::int64_t> w;
+  w.reserve(12 + static_cast<std::size_t>(cc.neighborhood().count()) *
+                     (static_cast<std::size_t>(cc.neighborhood().ndims()) + 1));
+  w.push_back(4);  // collective kind: reduction family
+  append_common(w, cc);
+  w.push_back(static_cast<std::int64_t>(variant));
+  w.push_back(combining ? 1 : 0);
+  w.push_back(static_cast<std::int64_t>(order));
+  w.push_back(static_cast<std::int64_t>(send.bytes()));
+  w.push_back(type_digest(send.type, send.count));
+  w.push_back(static_cast<std::int64_t>(op.digest()));
+  w.push_back(static_cast<std::int64_t>(op.elem_size()));
   return seal(std::move(w));
 }
 

@@ -56,12 +56,26 @@ struct PlanRound {
   std::vector<PlanPlacement> recv_items;
   std::vector<int> offset;
   long long blocks_sent = 0;
+  bool reduce = false;  ///< reducing-unpack round (see ScheduleRound::reduce)
 };
 
 /// One recorded local copy of the final phase.
 struct PlanCopy {
   PlanPlacement src;
   PlanPlacement dst;
+};
+
+/// One recorded fold step of a reducing plan (abstract form of
+/// ScheduleFold; bind() resolves the placements to addresses). `dst` must
+/// be a recv_block or temp placement; `src` additionally allows
+/// send_block. `identity` fills dst with the op identity (src ignored).
+struct PlanFold {
+  PlanPlacement src;
+  PlanPlacement dst;
+  int count = 0;  ///< op elements
+  int phase = 0;  ///< gate (see ScheduleFold::phase)
+  bool init = false;
+  bool identity = false;
 };
 
 /// Immutable rank-independent placement program (see file comment).
@@ -73,17 +87,33 @@ class CompiledPlan {
                               std::span<const SendBlock> sends,
                               std::span<const RecvBlock> recvs) const;
 
+  /// Reducing-plan bind: additionally resolves the fold program against the
+  /// concrete buffers and attaches `op` to the schedule. Requires a
+  /// reducing plan (recorded folds) and an op whose element size divides
+  /// every folded placement.
+  [[nodiscard]] Schedule bind(const CartNeighborComm& cc,
+                              std::span<const SendBlock> sends,
+                              std::span<const RecvBlock> recvs,
+                              const mpl::ReduceOp& op) const;
+
   [[nodiscard]] int rounds() const noexcept {
     return static_cast<int>(rounds_.size());
   }
   [[nodiscard]] std::size_t temp_bytes() const noexcept { return temp_bytes_; }
+  [[nodiscard]] bool reducing() const noexcept { return !folds_.empty(); }
 
  private:
   friend class PlanBuilder;
 
+  [[nodiscard]] Schedule bind_impl(const CartNeighborComm& cc,
+                                   std::span<const SendBlock> sends,
+                                   std::span<const RecvBlock> recvs,
+                                   const mpl::ReduceOp* op) const;
+
   std::vector<PlanRound> rounds_;
   std::vector<int> phase_rounds_;
   std::vector<PlanCopy> copies_;
+  std::vector<PlanFold> folds_;
   std::size_t temp_bytes_ = 0;
 };
 
@@ -111,6 +141,9 @@ class PlanBuilder {
   void add_copy(PlanPlacement src, PlanPlacement dst) {
     p_.copies_.push_back({src, dst});
   }
+
+  /// Record one fold step (execution order, nondecreasing phase tags).
+  void add_fold(PlanFold f) { p_.folds_.push_back(std::move(f)); }
 
   CompiledPlan finish() {
     if (open_phase_rounds_ != 0) end_phase();
@@ -147,6 +180,21 @@ struct PlanKey {
                                          std::span<const RecvBlock> recvs,
                                          DimOrder order);
 
+/// The two reducing collectives sharing one plan family: neighbor reduce
+/// (every contribution is the source's block 0) and reduce_scatter_block
+/// (the source contributes its i-th block toward neighbor i).
+enum class ReduceVariant : std::uint8_t { reduce = 0, reduce_scatter = 1 };
+
+/// Key for a reducing plan. Includes the op *digest* — plan structure does
+/// not depend on the fold function, but the digest separates element sizes
+/// and (for user ops) op instances so the bound-schedule cache, which
+/// embeds the op, can never serve a schedule folding with the wrong
+/// function.
+[[nodiscard]] PlanKey make_reduce_key(const CartNeighborComm& cc,
+                                      ReduceVariant variant, bool combining,
+                                      DimOrder order, const SendBlock& send,
+                                      const mpl::ReduceOp& op);
+
 /// Compile steps (Algorithm 1/2 with placements recorded instead of
 /// datatypes built). Pure in the key: every input they read is covered by
 /// the corresponding make_*_key.
@@ -155,6 +203,15 @@ struct PlanKey {
 [[nodiscard]] CompiledPlan compile_allgather_plan(const CartNeighborComm& cc,
                                                   std::size_t block_bytes,
                                                   DimOrder order);
+
+/// Reducing compile step (reverse allgather tree with combine-on-unpack;
+/// see reduce_schedule.cpp). `fold_elems` = op elements per block
+/// (block_bytes / op.elem_size()).
+[[nodiscard]] CompiledPlan compile_reduce_plan(const CartNeighborComm& cc,
+                                               ReduceVariant variant,
+                                               bool combining, DimOrder order,
+                                               std::size_t block_bytes,
+                                               int fold_elems);
 
 // -- concurrent plan cache ---------------------------------------------------
 //

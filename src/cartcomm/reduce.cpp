@@ -1,0 +1,184 @@
+#include "cartcomm/reduce.hpp"
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "cartcomm/build_schedule.hpp"
+#include "cartcomm/neighborhood.hpp"
+#include "mpl/error.hpp"
+
+namespace cartcomm {
+
+namespace {
+
+const char* at_bytes(const void* base, std::ptrdiff_t disp) {
+  return static_cast<const char*>(base) + disp;
+}
+
+/// Resolve `automatic` for a reducing collective. Unlike the movement
+/// collectives there is no fully-periodic requirement — the combining
+/// schedule handles mesh boundaries — but the op must be commutative
+/// (partial aggregates reassociate and reorder contributions), and the
+/// combining tree must actually save rounds over the trivial algorithm.
+Algorithm resolve_reduce(const CartNeighborComm& cc, const mpl::ReduceOp& op,
+                         Algorithm alg) {
+  if (alg == Algorithm::combining) {
+    MPL_REQUIRE(op.commutative(),
+                "cartcomm reduce: the message-combining algorithm requires a "
+                "commutative op; '" +
+                    op.name() + "' is not (use Algorithm::trivial)");
+    return Algorithm::combining;
+  }
+  if (alg == Algorithm::trivial) return Algorithm::trivial;
+  const Neighborhood& nb = cc.neighborhood();
+  const bool combine = op.commutative() && nb.count() > 0 &&
+                       nb.combining_rounds() < nb.trivial_rounds();
+  return combine ? Algorithm::combining : Algorithm::trivial;
+}
+
+/// The allreduce is a reduce over the neighborhood with the zero vector
+/// included: append it (at the end, so existing neighbor indices keep
+/// their meaning) when absent. Purely local — every process derives the
+/// identical augmented neighborhood, preserving isomorphism.
+CartNeighborComm with_self(const CartNeighborComm& cc) {
+  const Neighborhood& nb = cc.neighborhood();
+  if (nb.contains_zero_vector()) return cc;
+  const std::span<const int> f = nb.flat();
+  std::vector<int> flat(f.begin(), f.end());
+  flat.insert(flat.end(), static_cast<std::size_t>(nb.ndims()), 0);
+  return cc.with_neighborhood(Neighborhood(nb.ndims(), std::move(flat)));
+}
+
+/// Number of contribution blocks folded into this process's result: the
+/// on-mesh sources, with multiplicity. On a torus this is nb.count() on
+/// every process (the old cart_reduce return value).
+int contribution_blocks(const CartNeighborComm& cc) {
+  int n = 0;
+  for (const int r : cc.source_ranks()) {
+    if (r != mpl::PROC_NULL) ++n;
+  }
+  return n;
+}
+
+std::vector<SendBlock> reduce_sends(const void* sendbuf, int count,
+                                    const mpl::Datatype& type,
+                                    ReduceVariant variant, int t) {
+  if (variant == ReduceVariant::reduce) {
+    return {SendBlock{sendbuf, count, type}};
+  }
+  std::vector<SendBlock> v(static_cast<std::size_t>(t));
+  for (int i = 0; i < t; ++i) {
+    const std::ptrdiff_t disp =
+        static_cast<std::ptrdiff_t>(i) * count * type.extent();
+    v[static_cast<std::size_t>(i)] = {at_bytes(sendbuf, disp), count, type};
+  }
+  return v;
+}
+
+/// Blocking one-shot execution. Both algorithms are schedule-native, so
+/// both go through the bound-schedule cache: a repeated call with the same
+/// communicator, buffers and op replays the bound schedule without
+/// compiling or binding anything.
+int run_reduce_oneshot(const CartNeighborComm& cc, const void* sendbuf,
+                       void* recvbuf, int count, const mpl::Datatype& type,
+                       const mpl::ReduceOp& op, ReduceVariant variant,
+                       Algorithm alg, DimOrder order) {
+  const bool combining =
+      resolve_reduce(cc, op, alg) == Algorithm::combining;
+  const std::vector<SendBlock> sends =
+      reduce_sends(sendbuf, count, type, variant, cc.neighborhood().count());
+  const RecvBlock recv{recvbuf, count, type};
+  const std::shared_ptr<BoundSchedule> bound = build_reduce_schedule_shared(
+      cc, sends, recv, op, variant, combining, order);
+  Schedule::Execution e = bound->sched.start(cc.comm(), bound->scratch);
+  e.wait();
+  return contribution_blocks(cc);
+}
+
+}  // namespace
+
+/// Internal factory assembling persistent reducing collectives (the
+/// counterpart of CollBuilder in coll.cpp). Both algorithms execute
+/// through the schedule, so the state is always sched_based.
+class ReduceBuilder {
+ public:
+  static PersistentColl make(const CartNeighborComm& cc, const void* sendbuf,
+                             void* recvbuf, int count,
+                             const mpl::Datatype& type,
+                             const mpl::ReduceOp& op, ReduceVariant variant,
+                             Algorithm alg, DimOrder order) {
+    const std::vector<SendBlock> sends =
+        reduce_sends(sendbuf, count, type, variant, cc.neighborhood().count());
+    const RecvBlock recv{recvbuf, count, type};
+    PersistentColl p;
+    p.st_ = std::make_shared<detail::PersistentState>();
+    detail::PersistentState& st = *p.st_;
+    st.comm = cc.comm();
+    st.alg = resolve_reduce(cc, op, alg);
+    st.sched_based = true;
+    st.sched = build_reduce_schedule(cc, sends, recv, op, variant,
+                                     st.alg == Algorithm::combining, order);
+    return p;
+  }
+};
+
+// -- blocking one-shot entry points -------------------------------------------
+
+int cart_neighbor_reduce(const void* sendbuf, void* recvbuf, int count,
+                         const mpl::Datatype& type, const mpl::ReduceOp& op,
+                         const CartNeighborComm& cc, Algorithm alg,
+                         DimOrder order) {
+  return run_reduce_oneshot(cc, sendbuf, recvbuf, count, type, op,
+                            ReduceVariant::reduce, alg, order);
+}
+
+int cart_neighbor_allreduce(const void* sendbuf, void* recvbuf, int count,
+                            const mpl::Datatype& type, const mpl::ReduceOp& op,
+                            const CartNeighborComm& cc, Algorithm alg,
+                            DimOrder order) {
+  const CartNeighborComm acc = with_self(cc);
+  return run_reduce_oneshot(acc, sendbuf, recvbuf, count, type, op,
+                            ReduceVariant::reduce, alg, order);
+}
+
+int cart_reduce_scatter_block(const void* sendbuf, void* recvbuf, int count,
+                              const mpl::Datatype& type,
+                              const mpl::ReduceOp& op,
+                              const CartNeighborComm& cc, Algorithm alg,
+                              DimOrder order) {
+  return run_reduce_oneshot(cc, sendbuf, recvbuf, count, type, op,
+                            ReduceVariant::reduce_scatter, alg, order);
+}
+
+// -- persistent entry points --------------------------------------------------
+
+PersistentColl cart_neighbor_reduce_init(const void* sendbuf, void* recvbuf,
+                                         int count, const mpl::Datatype& type,
+                                         const mpl::ReduceOp& op,
+                                         const CartNeighborComm& cc,
+                                         Algorithm alg, DimOrder order) {
+  return ReduceBuilder::make(cc, sendbuf, recvbuf, count, type, op,
+                             ReduceVariant::reduce, alg, order);
+}
+
+PersistentColl cart_neighbor_allreduce_init(const void* sendbuf, void* recvbuf,
+                                            int count,
+                                            const mpl::Datatype& type,
+                                            const mpl::ReduceOp& op,
+                                            const CartNeighborComm& cc,
+                                            Algorithm alg, DimOrder order) {
+  const CartNeighborComm acc = with_self(cc);
+  return ReduceBuilder::make(acc, sendbuf, recvbuf, count, type, op,
+                             ReduceVariant::reduce, alg, order);
+}
+
+PersistentColl cart_reduce_scatter_block_init(
+    const void* sendbuf, void* recvbuf, int count, const mpl::Datatype& type,
+    const mpl::ReduceOp& op, const CartNeighborComm& cc, Algorithm alg,
+    DimOrder order) {
+  return ReduceBuilder::make(cc, sendbuf, recvbuf, count, type, op,
+                             ReduceVariant::reduce_scatter, alg, order);
+}
+
+}  // namespace cartcomm

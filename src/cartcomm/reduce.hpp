@@ -1,201 +1,129 @@
-// Cartesian neighborhood reduction — the extension sketched in Sections
-// 2.2 and 5 of the paper (and in the earlier isomorphic-collectives
-// proposal the paper cites as [16]).
+// Reducing Cartesian collectives — the extension sketched in Sections 2.2
+// and 5 of the paper (and in the earlier isomorphic-collectives proposal
+// the paper cites as [16]), promoted to first-class schedule-native
+// operations.
 //
-// cart_reduce: every process contributes one block of `count` elements;
-// each process receives the blocks of its t source neighbors and reduces
-// them element-wise. Two algorithms:
+//  * cart_neighbor_reduce — recvbuf = op over the t source neighbors'
+//    contribution blocks (the calling process participates once per zero
+//    vector in the neighborhood).
+//  * cart_neighbor_allreduce — like reduce, but the own block always
+//    participates: the sparse allreduce over the t-neighborhood
+//    (implemented as a reduce over the neighborhood with the zero vector
+//    appended when absent).
+//  * cart_reduce_scatter_block — every process contributes one block *per
+//    neighbor* (block i toward the target at N[i]); each process receives
+//    the reduction of the blocks addressed to it.
 //
-//  * trivial — a Cartesian allgather followed by a local combine
-//    (t communication rounds).
+// Two algorithms, both executed as Schedules (visible to plans, the plan
+// cache, verify and telemetry):
+//
+//  * trivial — one round per non-zero neighbor; received blocks fold into
+//    the result in neighbor index order. Fixed order: safe for
+//    non-commutative operators.
 //  * combining — the allgather routing tree of Algorithm 2 run in
-//    *reverse*: partial reductions flow toward each consumer along the
-//    tree, combining whole subtrees before forwarding, in C = sum C_k
-//    rounds with per-process volume = tree edges. This is the natural
-//    message-combining reduction the paper leaves as future work.
+//    *reverse* with combine-on-the-fly unpack: partial aggregates flow
+//    toward each consumer in C = sum C_k rounds with per-process volume =
+//    tree edges (commutative ops only; see reduce_schedule.cpp). Works on
+//    meshes: partial aggregates shrink consistently at the boundary.
 //
-// The operator must be commutative and associative (combination order
-// follows the tree). The combining algorithm requires a fully periodic
-// grid (partial aggregates cannot mix on-mesh and off-mesh contributors);
-// `automatic` falls back to trivial on meshes.
+// `automatic` picks combining when the op is commutative and the tree has
+// fewer rounds than the trivial algorithm. All variants return the number
+// of contribution blocks reduced into the result (the number of on-mesh
+// sources, with multiplicity); when it is zero the result is the op's
+// identity element. recvbuf must not alias sendbuf.
 #pragma once
 
-#include <vector>
+#include <type_traits>
 
 #include "cartcomm/cart_comm.hpp"
 #include "cartcomm/coll.hpp"
-#include "cartcomm/schedule.hpp"
-#include "cartcomm/tree.hpp"
-#include "mpl/error.hpp"
+#include "mpl/datatype.hpp"
+#include "mpl/op.hpp"
+#include "mpl/reduce.hpp"
 
 namespace cartcomm {
 
+int cart_neighbor_reduce(const void* sendbuf, void* recvbuf, int count,
+                         const mpl::Datatype& type, const mpl::ReduceOp& op,
+                         const CartNeighborComm& cc,
+                         Algorithm alg = Algorithm::automatic,
+                         DimOrder order = DimOrder::increasing_ck);
+
+int cart_neighbor_allreduce(const void* sendbuf, void* recvbuf, int count,
+                            const mpl::Datatype& type, const mpl::ReduceOp& op,
+                            const CartNeighborComm& cc,
+                            Algorithm alg = Algorithm::automatic,
+                            DimOrder order = DimOrder::increasing_ck);
+
+/// sendbuf holds t blocks of `count` elements (block i addressed to the
+/// target at N[i]); recvbuf receives one block.
+int cart_reduce_scatter_block(const void* sendbuf, void* recvbuf, int count,
+                              const mpl::Datatype& type,
+                              const mpl::ReduceOp& op,
+                              const CartNeighborComm& cc,
+                              Algorithm alg = Algorithm::automatic,
+                              DimOrder order = DimOrder::increasing_ck);
+
+// Persistent variants: the reducing schedule (including the trivial one —
+// it is schedule-native too) is precomputed once and re-executed with zero
+// setup via PersistentColl::execute()/start().
+
+PersistentColl cart_neighbor_reduce_init(
+    const void* sendbuf, void* recvbuf, int count, const mpl::Datatype& type,
+    const mpl::ReduceOp& op, const CartNeighborComm& cc,
+    Algorithm alg = Algorithm::automatic,
+    DimOrder order = DimOrder::increasing_ck);
+
+PersistentColl cart_neighbor_allreduce_init(
+    const void* sendbuf, void* recvbuf, int count, const mpl::Datatype& type,
+    const mpl::ReduceOp& op, const CartNeighborComm& cc,
+    Algorithm alg = Algorithm::automatic,
+    DimOrder order = DimOrder::increasing_ck);
+
+PersistentColl cart_reduce_scatter_block_init(
+    const void* sendbuf, void* recvbuf, int count, const mpl::Datatype& type,
+    const mpl::ReduceOp& op, const CartNeighborComm& cc,
+    Algorithm alg = Algorithm::automatic,
+    DimOrder order = DimOrder::increasing_ck);
+
 namespace detail {
 
-/// Trivial reduction: Cartesian allgather + local element-wise combine.
+/// Map the mpl::op functor tags (and arbitrary T(T,T) callables) onto
+/// ReduceOps. Known tags get the built-in op with the correct identity;
+/// unknown callables are wrapped as a commutative user op with identity
+/// T{} — the behavior the old template had for every op.
 template <typename T, typename BinOp>
-int cart_reduce_trivial(const T* sendbuf, T* recvbuf, int count, BinOp combine,
-                        const CartNeighborComm& cc) {
-  const int t = cc.neighbor_count();
-  std::vector<T> gathered(static_cast<std::size_t>(t) *
-                          static_cast<std::size_t>(count));
-  allgather(sendbuf, count, mpl::Datatype::of<T>(), gathered.data(), count,
-            mpl::Datatype::of<T>(), cc);
-
-  int blocks = 0;
-  for (int i = 0; i < t; ++i) {
-    if (cc.source_ranks()[static_cast<std::size_t>(i)] == mpl::PROC_NULL) {
-      continue;  // non-periodic boundary: no contribution for this slot
-    }
-    const T* block = gathered.data() +
-                     static_cast<std::size_t>(i) * static_cast<std::size_t>(count);
-    if (blocks == 0) {
-      std::copy(block, block + count, recvbuf);
-    } else {
-      for (int j = 0; j < count; ++j) recvbuf[j] = combine(recvbuf[j], block[j]);
-    }
-    ++blocks;
+mpl::ReduceOp reduce_op_for(BinOp combine) {
+  if constexpr (std::is_same_v<BinOp, mpl::op::plus>) {
+    return mpl::ReduceOp::sum<T>();
+  } else if constexpr (std::is_same_v<BinOp, mpl::op::prod>) {
+    return mpl::ReduceOp::prod<T>();
+  } else if constexpr (std::is_same_v<BinOp, mpl::op::min>) {
+    return mpl::ReduceOp::min<T>();
+  } else if constexpr (std::is_same_v<BinOp, mpl::op::max>) {
+    return mpl::ReduceOp::max<T>();
+  } else {
+    return mpl::ReduceOp::make<T>(
+        "user", [combine](T a, T b) { return combine(a, b); },
+        /*commutative=*/true, T{});
   }
-  if (blocks == 0) std::fill(recvbuf, recvbuf + count, T{});
-  return blocks;
-}
-
-/// Message-combining reduction along the reversed allgather tree.
-/// After processing level l, this process holds for every tree node u at
-/// level l the aggregate  S(u) = op over members i of u of
-/// sendbuf[me - N[i] + path(u)];  the root's aggregate is the result.
-template <typename T, typename BinOp>
-int cart_reduce_combining(const T* sendbuf, T* recvbuf, int count,
-                          BinOp combine, const CartNeighborComm& cc,
-                          DimOrder order) {
-  const Neighborhood& nb = cc.neighborhood();
-  const mpl::CartGrid& grid = cc.grid();
-  const int d = nb.ndims();
-  for (int k = 0; k < d; ++k) {
-    MPL_REQUIRE(grid.periodic(k),
-                "cart_reduce: the combining algorithm requires a fully "
-                "periodic grid (use the trivial algorithm on meshes)");
-  }
-  if (nb.count() == 0) {
-    std::fill(recvbuf, recvbuf + count, T{});
-    return 0;
-  }
-
-  const std::vector<int> perm = dimension_order(nb, order);
-  const AllgatherTree tree = build_tree(nb, perm);
-  const mpl::Datatype elem = mpl::Datatype::of<T>();
-  const std::size_t n = static_cast<std::size_t>(count);
-
-  // Aggregates per level; empty vector = "no contribution yet".
-  std::vector<std::vector<std::vector<T>>> agg(tree.levels.size());
-  for (std::size_t l = 0; l < tree.levels.size(); ++l) {
-    agg[l].resize(tree.levels[l].size());
-  }
-
-  // Leaves: the own block, once per member (repetitions combine the block
-  // with itself, matching the trivial algorithm's multiplicity).
-  const std::vector<detail::TreeNode>& leaves = tree.levels.back();
-  for (std::size_t v = 0; v < leaves.size(); ++v) {
-    std::vector<T>& s = agg.back()[v];
-    s.assign(sendbuf, sendbuf + count);
-    for (std::size_t rep = 1; rep < leaves[v].members.size(); ++rep) {
-      for (std::size_t j = 0; j < n; ++j) s[j] = combine(s[j], sendbuf[j]);
-    }
-  }
-
-  // Process levels deepest-first: fold zero-coordinate children locally,
-  // exchange and fold communicated children, one round per distinct
-  // non-zero coordinate (C_k rounds for this level's dimension).
-  std::vector<int> offv(static_cast<std::size_t>(d), 0);
-  for (std::size_t level = tree.levels.size() - 1; level-- > 0;) {
-    const int k = perm[level];
-    // Zero-coordinate children fold locally.
-    const std::vector<detail::TreeNode>& nxt = tree.levels[level + 1];
-    for (std::size_t v = 0; v < nxt.size(); ++v) {
-      if (nxt[v].coordinate != 0) continue;
-      std::vector<T>& dst = agg[level][static_cast<std::size_t>(nxt[v].parent)];
-      std::vector<T>& src = agg[level + 1][v];
-      if (dst.empty()) {
-        dst = std::move(src);
-      } else {
-        for (std::size_t j = 0; j < n; ++j) dst[j] = combine(dst[j], src[j]);
-      }
-    }
-    // Communicated children: the holder of child v's aggregate relative
-    // to the consumer sits at -c*e_k, so each process sends its aggregate
-    // to +c*e_k and folds what arrives from -c*e_k into the parent.
-    const std::vector<detail::TreeEdge>& evec = tree.edges[level];
-    std::size_t s = 0;
-    while (s < evec.size()) {
-      const int c = evec[s].coordinate;
-      std::size_t e = s;
-      while (e < evec.size() && evec[e].coordinate == c) ++e;
-      offv[static_cast<std::size_t>(k)] = c;
-      const int sendrank = grid.rank_at_offset(cc.coords(), offv);
-      offv[static_cast<std::size_t>(k)] = -c;
-      const int recvrank = grid.rank_at_offset(cc.coords(), offv);
-      offv[static_cast<std::size_t>(k)] = 0;
-
-      std::vector<std::vector<T>> incoming(e - s, std::vector<T>(n));
-      std::vector<mpl::Request> reqs;
-      reqs.reserve(e - s);
-      for (std::size_t q = s; q < e; ++q) {
-        reqs.push_back(cc.comm().irecv(incoming[q - s].data(), count, elem,
-                                       recvrank, kCartTag + 1));
-      }
-      for (std::size_t q = s; q < e; ++q) {
-        const std::vector<T>& out = agg[level + 1][static_cast<std::size_t>(evec[q].child)];
-        MPL_REQUIRE(!out.empty(), "cart_reduce: internal: empty aggregate");
-        cc.comm().isend(out.data(), count, elem, sendrank, kCartTag + 1);
-      }
-      mpl::wait_all(reqs);
-      for (std::size_t q = s; q < e; ++q) {
-        std::vector<T>& dst = agg[level][static_cast<std::size_t>(evec[q].parent)];
-        std::vector<T>& src = incoming[q - s];
-        if (dst.empty()) {
-          dst = std::move(src);
-        } else {
-          for (std::size_t j = 0; j < n; ++j) dst[j] = combine(dst[j], src[j]);
-        }
-      }
-      s = e;
-    }
-  }
-
-  const std::vector<T>& result = agg[0][0];
-  MPL_REQUIRE(!result.empty(), "cart_reduce: internal: empty root aggregate");
-  std::copy(result.begin(), result.end(), recvbuf);
-  return nb.count();
 }
 
 }  // namespace detail
 
-/// recvbuf[j] = reduction over all source neighbors i of their sendbuf[j]
-/// (the calling process' own block participates once per zero vector in
-/// the neighborhood). recvbuf must not alias sendbuf. Returns the number
-/// of blocks reduced (0 on an empty neighborhood or when every source is
-/// PROC_NULL; recvbuf is zero-filled in that case).
+/// Back-compat typed wrapper over cart_neighbor_reduce. Known mpl::op tags
+/// carry their proper identity element, so a process with zero on-mesh
+/// sources now receives the identity (e.g. lowest<T> for max) instead of
+/// the old T{} zero-fill.
 template <typename T, typename BinOp>
 int cart_reduce(const T* sendbuf, T* recvbuf, int count, BinOp combine,
                 const CartNeighborComm& cc,
                 Algorithm alg = Algorithm::automatic,
                 DimOrder order = DimOrder::increasing_ck) {
   static_assert(std::is_trivially_copyable_v<T>);
-  bool fully_periodic = true;
-  for (int k = 0; k < cc.grid().ndims(); ++k) {
-    fully_periodic = fully_periodic && cc.grid().periodic(k);
-  }
-  if (alg == Algorithm::automatic) {
-    alg = (fully_periodic && cc.neighbor_count() > 0 &&
-           cc.stats().combining_rounds < cc.stats().trivial_rounds)
-              ? Algorithm::combining
-              : Algorithm::trivial;
-  }
-  if (alg == Algorithm::combining) {
-    return detail::cart_reduce_combining(sendbuf, recvbuf, count, combine, cc,
-                                         order);
-  }
-  return detail::cart_reduce_trivial(sendbuf, recvbuf, count, combine, cc);
+  return cart_neighbor_reduce(sendbuf, recvbuf, count, mpl::Datatype::of<T>(),
+                              detail::reduce_op_for<T>(combine), cc, alg,
+                              order);
 }
 
 }  // namespace cartcomm

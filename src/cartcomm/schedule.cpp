@@ -1,6 +1,8 @@
 #include "cartcomm/schedule.hpp"
 
 #include <chrono>
+#include <climits>
+#include <cstring>
 #include <sstream>
 
 #include "mpl/collectives.hpp"
@@ -112,10 +114,40 @@ void Schedule::Execution::end_phase_scope() {
   tr_->set_round(-1);
 }
 
+// Apply the prefix of the fold program whose phase tags are below `below`.
+// Runs at phase boundaries only: a fold tagged p reads staging slots filled
+// by phase p's receives (all drained) and must complete before phase p+1
+// posts sends that read its destination (eager transport packs at isend).
+// The program order and gating are fixed at compile time, so the combine
+// order — and therefore every floating-point result — is independent of
+// message arrival order.
+void Schedule::Execution::apply_folds(int below) {
+  const auto& folds = sched_->folds_;
+  if (next_fold_ >= folds.size()) return;
+  const mpl::ReduceOp& op = sched_->op_;
+  while (next_fold_ < folds.size() && folds[next_fold_].phase < below) {
+    const ScheduleFold& f = folds[next_fold_++];
+    const std::size_t bytes =
+        static_cast<std::size_t>(f.count) * op.elem_size();
+    if (f.src == nullptr) {
+      op.fill_identity(f.dst, f.count);
+    } else if (f.init) {
+      std::memcpy(f.dst, f.src, bytes);
+    } else {
+      op.fold(f.dst, f.src, f.count);
+    }
+    if (comm_.model_enabled()) comm_.proc().clock().local_copy(bytes);
+    if (telem_) telem_->on_reduce_fold(bytes);
+  }
+}
+
 void Schedule::Execution::post_phase() {
   ExecutionScratch& s = sc();
   // Post phases until one has pending receives (or all work is done).
   while (s.pending.empty()) {
+    // Phase boundary: everything up to (excluding) the next phase to post
+    // has drained, so its folds can run before further sends are packed.
+    apply_folds(static_cast<int>(phase_));
     end_phase_scope();
     if (phase_ >= sched_->phase_rounds_.size()) {
       finish_copies();
@@ -164,6 +196,9 @@ void Schedule::Execution::post_phase() {
 }
 
 void Schedule::Execution::finish_copies() {
+  // Remaining folds (schedules with zero communication phases, and any
+  // trailing identity fills recorded after the main program).
+  apply_folds(INT_MAX);
   // Final non-communication phase: local block copies, scoped one past the
   // last communication phase.
   const bool scope = tr_ && !sched_->copies_.empty();
@@ -196,8 +231,10 @@ void Schedule::Execution::finish_copies() {
   flight_->record(telemetry::FlightKind::sched_end, exec_ordinal_);
   if (telem_) {
     const auto dt = std::chrono::steady_clock::now() - t0_;
-    telem_->on_collective(static_cast<std::uint64_t>(
-        std::chrono::duration_cast<std::chrono::nanoseconds>(dt).count()));
+    const auto ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(dt).count());
+    telem_->on_collective(ns);
+    if (sched_->op_.valid()) telem_->on_reduce(ns);
   }
   done_ = true;
 }
@@ -276,7 +313,11 @@ std::string Schedule::dump() const {
   std::ostringstream os;
   os << "schedule: " << phases() << " phases, " << rounds() << " rounds, "
      << send_blocks_ << " blocks sent, " << copies_.size() << " local copies, "
-     << temp_bytes() << " temp bytes\n";
+     << temp_bytes() << " temp bytes";
+  if (op_.valid()) {
+    os << ", reduce op " << op_.name() << ", " << folds_.size() << " folds";
+  }
+  os << "\n";
   std::size_t i = 0;
   for (std::size_t ph = 0; ph < phase_rounds_.size(); ++ph) {
     os << "  phase " << ph << " (" << phase_rounds_[ph] << " rounds)\n";
@@ -294,7 +335,7 @@ std::string Schedule::dump() const {
       put_partner(os, r.sendrank, r.send_boundary);
       os << " [" << (r.sendtype.valid() ? r.sendtype.block_count() : 0)
          << " blk, " << (r.sendtype.valid() ? r.sendtype.size() : 0)
-         << " B]  recv<-";
+         << " B]  " << (r.reduce ? "reduce<-" : "recv<-");
       put_partner(os, r.recvrank, r.recv_boundary);
       os << " [" << (r.recvtype.valid() ? r.recvtype.block_count() : 0)
          << " blk, " << (r.recvtype.valid() ? r.recvtype.size() : 0) << " B]\n";
@@ -305,6 +346,15 @@ std::string Schedule::dump() const {
     for (std::size_t c = 0; c < copies_.size(); ++c) {
       os << "    copy " << c << ": " << copies_[c].src.block_count()
          << " blk, " << copies_[c].src.size() << " B\n";
+    }
+  }
+  if (!folds_.empty()) {
+    os << "  folds (" << folds_.size() << ")\n";
+    for (std::size_t f = 0; f < folds_.size(); ++f) {
+      const ScheduleFold& fd = folds_[f];
+      os << "    fold " << f << ": phase " << fd.phase << " "
+         << (fd.src == nullptr ? "fill" : fd.init ? "init" : "combine") << " "
+         << fd.count << " elems\n";
     }
   }
   return os.str();
@@ -379,6 +429,11 @@ Schedule Schedule::merge(std::vector<Schedule> parts, bool coalesce) {
   Schedule out;
   std::size_t max_phases = 0;
   for (const Schedule& p : parts) {
+    // Reducing schedules cannot be merged: their fold programs are gated on
+    // their own phase indices and their staging slots assume the original
+    // round layout.
+    MPL_REQUIRE(!p.op_.valid() && p.folds_.empty(),
+                "Schedule::merge: reducing schedules cannot be merged");
     max_phases = std::max(max_phases, p.phase_rounds_.size());
   }
   // Phase-wise concatenation: rounds that were concurrent stay concurrent,

@@ -21,6 +21,7 @@
 
 #include "mpl/comm.hpp"
 #include "mpl/datatype.hpp"
+#include "mpl/op.hpp"
 #include "mpl/topology.hpp"
 
 namespace telemetry {
@@ -56,12 +57,35 @@ struct ScheduleRound {
   /// refuses to silently skip a PROC_NULL partner that lacks this flag.
   bool send_boundary = false;
   bool recv_boundary = false;
+  /// Reducing-unpack round: the received blocks land in staging slots and
+  /// are *folded* into their destinations by the schedule's fold program
+  /// (see ScheduleFold) instead of being final data. Rendered distinctly
+  /// by dump().
+  bool reduce = false;
 };
 
 /// A local data movement (e.g. the self block): copy through absolute types.
 struct ScheduleCopy {
   mpl::Datatype src;
   mpl::Datatype dst;
+};
+
+/// One step of a reducing schedule's fold program: combine `count` op
+/// elements at `src` into the accumulator at `dst`. The program is recorded
+/// at compile time in a fixed order and gated by phase tags, so the combine
+/// order is a function of the schedule alone — never of message arrival
+/// order — which keeps floating-point results bit-identical across runs,
+/// fault seeds and jitter.
+struct ScheduleFold {
+  const void* src = nullptr;  ///< null = fill dst with the op identity
+  void* dst = nullptr;
+  int count = 0;              ///< elements of the op's elem_size
+  /// Applied once communication phase `phase` has fully drained (incoming
+  /// staging slots are final). Leaf initializations carry -1: they read
+  /// only the caller's send buffer and must run before phase 0 posts
+  /// (eager transport packs data at isend time).
+  int phase = 0;
+  bool init = false;  ///< first write to dst: copy instead of combine
 };
 
 struct ExecutionScratch;
@@ -121,6 +145,13 @@ class Schedule {
   }
   [[nodiscard]] std::size_t temp_bytes() const noexcept;
 
+  /// True when this schedule carries a reduction (a fold program and an op).
+  [[nodiscard]] bool reducing() const noexcept { return op_.valid(); }
+  [[nodiscard]] const mpl::ReduceOp& op() const noexcept { return op_; }
+  [[nodiscard]] std::span<const ScheduleFold> folds() const noexcept {
+    return folds_;
+  }
+
   /// Human-readable dump of the schedule structure: phases, rounds with
   /// generating offsets, partner ranks (PROC_NULL partners annotated with
   /// their mesh-boundary provenance), block counts and bytes per direction,
@@ -152,6 +183,10 @@ class Schedule {
   // adopts the pools of its parts to keep those addresses alive.
   std::vector<std::vector<std::byte>> temp_pools_;
   long long send_blocks_ = 0;
+  // Reducing schedules: the fold program (compile-order, phase-gated) and
+  // the operator it folds with. Empty/invalid for movement schedules.
+  std::vector<ScheduleFold> folds_;
+  mpl::ReduceOp op_;
 };
 
 /// Reusable per-execution working set: the pending-request table and the
@@ -194,6 +229,7 @@ class Schedule::Execution {
             ExecutionScratch* scratch);
   void post_phase();
   void finish_copies();
+  void apply_folds(int below);
   void drain_pending();
   void begin_phase_scope(int phase);
   void end_phase_scope();
@@ -208,6 +244,7 @@ class Schedule::Execution {
   ExecutionScratch* scratch_ = nullptr;  // caller-owned (persistent mode)
   ExecutionScratch own_;                 // fallback for one-shot executions
   bool done_ = true;
+  std::size_t next_fold_ = 0;  // applied prefix of the fold program
 
   // Tracing scope (null when neither tracing nor metrics are armed).
   trace::RankTrace* tr_ = nullptr;
@@ -253,6 +290,13 @@ class ScheduleBuilder {
   void add_copy(mpl::Datatype src, mpl::Datatype dst) {
     s_.copies_.push_back({std::move(src), std::move(dst)});
   }
+
+  /// Attach the reduction operator (marks the schedule as reducing).
+  void set_op(mpl::ReduceOp op) { s_.op_ = std::move(op); }
+
+  /// Append one fold step. Steps must be recorded in execution order with
+  /// nondecreasing phase tags (the executor applies them with a cursor).
+  void add_fold(ScheduleFold f) { s_.folds_.push_back(f); }
 
   Schedule finish() {
     if (open_phase_rounds_ != 0) end_phase();

@@ -42,9 +42,13 @@ void gather_metrics(
     s.collectives += tm->collectives();
     s.fault_retries += tm->fault_retries();
     s.fault_delays += tm->fault_delays();
+    s.reduce_folds += tm->reduce_folds();
+    s.reduce_fold_bytes += tm->reduce_fold_bytes();
+    s.reduces += tm->reduces();
     s.collective_ns.merge(tm->collective_latency());
     s.wait_block_ns.merge(tm->wait_block_latency());
     s.msg_bytes.merge(tm->message_sizes());
+    s.reduce_ns.merge(tm->reduce_latency());
   }
   for (auto& p : rt.procs) {
     const detail::BufferPool::Stats ps = p->pool().stats();

@@ -75,6 +75,12 @@ void write_openmetrics(std::ostream& os, const MetricsSnapshot& snap) {
           snap.fault_retries);
   counter(os, "mpl_fault_delays", "Messages given injected delay jitter.",
           snap.fault_delays);
+  counter(os, "mpl_reduces", "Reducing schedule executions.", snap.reduces);
+  counter(os, "mpl_reduce_folds",
+          "Combine steps applied by reducing schedules.", snap.reduce_folds);
+  counter(os, "mpl_reduce_fold_bytes",
+          "Bytes combined by reducing-schedule fold steps.",
+          snap.reduce_fold_bytes);
 
   counter(os, "mpl_pool_hits", "Buffer-pool freelist hits.", snap.pool.hits);
   counter(os, "mpl_pool_misses", "Buffer-pool freelist misses (allocations).",
@@ -139,6 +145,9 @@ void write_openmetrics(std::ostream& os, const MetricsSnapshot& snap) {
             snap.wait_block_ns, 1e-9);
   histogram(os, "mpl_message_size_bytes", "Payload size of sent messages.",
             snap.msg_bytes, 1.0);
+  histogram(os, "mpl_reduce_latency_seconds",
+            "Wall latency of one reducing schedule execution.", snap.reduce_ns,
+            1e-9);
 
   for (const auto& [name, value] : snap.extra_gauges) {
     const std::string full = "mpl_" + name;

@@ -44,9 +44,13 @@ struct MetricsSnapshot {
   std::uint64_t collectives = 0;
   std::uint64_t fault_retries = 0;
   std::uint64_t fault_delays = 0;
+  std::uint64_t reduce_folds = 0;
+  std::uint64_t reduce_fold_bytes = 0;
+  std::uint64_t reduces = 0;
   Histogram collective_ns;
   Histogram wait_block_ns;
   Histogram msg_bytes;
+  Histogram reduce_ns;
   PoolGauges pool;
   ContentionTotals contention;
   PlanCacheTotals plan_cache;

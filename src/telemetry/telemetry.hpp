@@ -66,6 +66,14 @@ class RankTelemetry {
   }
   void on_fault_retries(std::uint64_t n) noexcept { add(fault_retries_, n); }
   void on_fault_delay() noexcept { bump(fault_delays_); }
+  void on_reduce_fold(std::uint64_t bytes) noexcept {
+    bump(reduce_folds_);
+    add(reduce_fold_bytes_, bytes);
+  }
+  void on_reduce(std::uint64_t ns) noexcept {
+    bump(reduces_);
+    reduce_ns_.record(ns);
+  }
 
   // -- snapshot accessors ----------------------------------------------
   [[nodiscard]] int rank() const noexcept { return rank_; }
@@ -78,6 +86,9 @@ class RankTelemetry {
   [[nodiscard]] std::uint64_t collectives() const noexcept { return get(collectives_); }
   [[nodiscard]] std::uint64_t fault_retries() const noexcept { return get(fault_retries_); }
   [[nodiscard]] std::uint64_t fault_delays() const noexcept { return get(fault_delays_); }
+  [[nodiscard]] std::uint64_t reduce_folds() const noexcept { return get(reduce_folds_); }
+  [[nodiscard]] std::uint64_t reduce_fold_bytes() const noexcept { return get(reduce_fold_bytes_); }
+  [[nodiscard]] std::uint64_t reduces() const noexcept { return get(reduces_); }
 
   [[nodiscard]] const Histogram& collective_latency() const noexcept {
     return collective_ns_;
@@ -87,6 +98,9 @@ class RankTelemetry {
   }
   [[nodiscard]] const Histogram& message_sizes() const noexcept {
     return msg_bytes_;
+  }
+  [[nodiscard]] const Histogram& reduce_latency() const noexcept {
+    return reduce_ns_;
   }
 
  private:
@@ -110,9 +124,13 @@ class RankTelemetry {
   std::atomic<std::uint64_t> collectives_{0};
   std::atomic<std::uint64_t> fault_retries_{0};
   std::atomic<std::uint64_t> fault_delays_{0};
+  std::atomic<std::uint64_t> reduce_folds_{0};
+  std::atomic<std::uint64_t> reduce_fold_bytes_{0};
+  std::atomic<std::uint64_t> reduces_{0};
   Histogram collective_ns_;
   Histogram wait_block_ns_;
   Histogram msg_bytes_;
+  Histogram reduce_ns_;
 };
 
 }  // namespace telemetry

@@ -358,6 +358,42 @@ VerifyReport verify_schedule(const Schedule& s, const CartNeighborComm& cc,
   if (kind != ScheduleKind::unknown) {
     const Neighborhood& nb = cc.neighborhood();
     const int d = nb.ndims();
+    bool fully_periodic = true;
+    for (int k = 0; k < grid.ndims(); ++k) {
+      if (!grid.periodic(k)) fully_periodic = false;
+    }
+    if (kind == ScheduleKind::reduce_trivial) {
+      // Closed form of the trivial reducing schedule: one phase of one
+      // round per non-zero neighbor vector, one block sent per round whose
+      // target is on the mesh.
+      const int expected_rounds = nb.trivial_rounds();
+      const int expected_phases = expected_rounds > 0 ? 1 : 0;
+      if (s.phases() != expected_phases) {
+        add_issue(rep, VerifyIssue::Code::round_count, rank, -1, -1,
+                  "expected " + std::to_string(expected_phases) +
+                  " phases for a trivial reducing schedule, schedule has " +
+                  std::to_string(s.phases()));
+      }
+      if (s.rounds() != expected_rounds) {
+        add_issue(rep, VerifyIssue::Code::round_count, rank, -1, -1,
+                  "expected one round per non-zero neighbor (" +
+                  std::to_string(expected_rounds) + "), schedule has " +
+                  std::to_string(s.rounds()));
+      }
+      const long long expected_volume = expected_rounds;
+      if (fully_periodic ? s.send_block_count() != expected_volume
+                         : s.send_block_count() > expected_volume) {
+        add_issue(rep, VerifyIssue::Code::volume, rank, -1, -1,
+                  "per-process volume " +
+                  std::to_string(s.send_block_count()) +
+                  " blocks diverges from the trivial closed form " +
+                  std::to_string(expected_volume) +
+                  (fully_periodic ? "" : " (upper bound on a mesh)"));
+      }
+      return rep;
+    }
+    const bool reducing =
+        kind == ScheduleKind::reduce || kind == ScheduleKind::reduce_scatter;
     if (s.phases() != d) {
       add_issue(rep, VerifyIssue::Code::round_count, rank, -1, -1,
                 "expected d = " + std::to_string(d) + " communication phases, "
@@ -370,27 +406,28 @@ VerifyReport verify_schedule(const Schedule& s, const CartNeighborComm& cc,
                 " rounds (Prop. 3.1), schedule has " +
                 std::to_string(s.rounds()));
     }
-    // Per-phase C_k, in the dimension order the builder used.
+    // Per-phase C_k, in the dimension order the builder used. The reducing
+    // schedules run the allgather tree in reverse, so phase p handles
+    // dimension perm[d-1-p].
     const std::vector<int> perm =
-        kind == ScheduleKind::allgather
-            ? dimension_order(nb, order)
-            : dimension_order(nb, DimOrder::natural);
+        kind == ScheduleKind::alltoall
+            ? dimension_order(nb, DimOrder::natural)
+            : dimension_order(nb, order);
     if (s.phases() == d) {
       for (int ph = 0; ph < d; ++ph) {
-        const int ck = nb.distinct_nonzero(perm[static_cast<std::size_t>(ph)]);
+        const std::size_t dim_idx =
+            reducing ? static_cast<std::size_t>(d - 1 - ph)
+                     : static_cast<std::size_t>(ph);
+        const int ck = nb.distinct_nonzero(perm[dim_idx]);
         if (phase_rounds[static_cast<std::size_t>(ph)] != ck) {
           add_issue(rep, VerifyIssue::Code::round_count, rank, ph, -1,
                     "expected C_k = " + std::to_string(ck) +
                     " rounds for dimension " +
-                    std::to_string(perm[static_cast<std::size_t>(ph)]) +
+                    std::to_string(perm[dim_idx]) +
                     ", schedule has " +
                     std::to_string(phase_rounds[static_cast<std::size_t>(ph)]));
         }
       }
-    }
-    bool fully_periodic = true;
-    for (int k = 0; k < grid.ndims(); ++k) {
-      if (!grid.periodic(k)) fully_periodic = false;
     }
     const long long expected_volume = kind == ScheduleKind::alltoall
                                           ? nb.alltoall_volume()

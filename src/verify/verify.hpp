@@ -40,7 +40,18 @@ namespace cartcomm {
 
 /// Which closed-form structure a schedule is expected to have (check (d)).
 /// `unknown` skips the formula checks (e.g. for merged schedules).
-enum class ScheduleKind { unknown, alltoall, allgather };
+/// `reduce`/`reduce_scatter` are the message-combining reducing schedules
+/// (the allgather tree in reverse: same phase/round/volume closed forms,
+/// phases in reversed dimension order); `reduce_trivial` is the one-phase
+/// trivial reducing schedule.
+enum class ScheduleKind {
+  unknown,
+  alltoall,
+  allgather,
+  reduce,
+  reduce_scatter,
+  reduce_trivial,
+};
 
 /// Address-free structural digest of one round, exchangeable across ranks.
 struct RoundSummary {

@@ -16,10 +16,12 @@
 //   ./test_cart_fuzz --seed=N --iters=K     # or MPL_FUZZ_SEED/MPL_FUZZ_ITERS
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
 #include <random>
 #include <sstream>
 #include <string>
@@ -193,6 +195,252 @@ void run_case(const FuzzCase& fc) {
   });
 }
 
+// -- reduction fuzzing --------------------------------------------------------
+
+/// Small bounded per-contribution value: keeps up to 8 chained integer
+/// folds (including the doubling non-commutative op) far from overflow.
+int rvalue(int origin_rank, int idx, int elem) {
+  const int v = carttest::pattern(origin_rank, idx, elem) % 1000;
+  return v < 0 ? v + 1000 : v;
+}
+
+enum class FuzzOp { sum, min, max, doubling };  // doubling: non-commutative
+
+mpl::ReduceOp make_fuzz_op(FuzzOp which) {
+  switch (which) {
+    case FuzzOp::sum:
+      return mpl::ReduceOp::sum<int>();
+    case FuzzOp::min:
+      return mpl::ReduceOp::min<int>();
+    case FuzzOp::max:
+      return mpl::ReduceOp::max<int>();
+    case FuzzOp::doubling:
+      break;
+  }
+  // acc*2 + in: non-commutative and non-associative, so it detects any
+  // deviation from the documented index-order fold of the trivial
+  // algorithm. No identity: zero-contribution processes are exercised by
+  // the builtin ops above.
+  return mpl::ReduceOp::make<int>(
+      "doubling", [](int a, int b) { return a * 2 + b; },
+      /*commutative=*/false, 0);
+}
+
+int apply_fuzz_op(FuzzOp which, int a, int b) {
+  switch (which) {
+    case FuzzOp::sum:
+      return a + b;
+    case FuzzOp::min:
+      return std::min(a, b);
+    case FuzzOp::max:
+      return std::max(a, b);
+    case FuzzOp::doubling:
+      return a * 2 + b;
+  }
+  return 0;
+}
+
+int fuzz_op_identity(FuzzOp which) {
+  switch (which) {
+    case FuzzOp::sum:
+      return 0;
+    case FuzzOp::min:
+      return std::numeric_limits<int>::max();
+    case FuzzOp::max:
+      return std::numeric_limits<int>::lowest();
+    case FuzzOp::doubling:
+      return 0;  // explicit identity passed to make()
+  }
+  return 0;
+}
+
+/// Run one reduction fuzz case: trivial vs straight-line oracle (exact,
+/// index order — also for the non-commutative op), combining vs trivial
+/// (commutative ops, random dimension order), float determinism with a
+/// ULP-style bound, and static verification of the reducing schedules.
+void run_reduce_case(const FuzzCase& fc, FuzzOp which,
+                     cartcomm::DimOrder order) {
+  const Neighborhood nb(fc.d, fc.offsets);
+  const int t = nb.count();
+  const int m = fc.m;
+  const bool commutative = which != FuzzOp::doubling;
+  mpl::run(fc.nprocs(), [&](mpl::Comm& world) {
+    auto cc =
+        cartcomm::cart_neighborhood_create(world, fc.dims, fc.periods, nb);
+    const mpl::Datatype ty = mpl::Datatype::of<int>();
+    const mpl::ReduceOp op = make_fuzz_op(which);
+
+    // -- neighbor reduce: trivial vs oracle, combining vs trivial ----------
+    std::vector<int> sb(static_cast<std::size_t>(m));
+    for (int e = 0; e < m; ++e)
+      sb[static_cast<std::size_t>(e)] = rvalue(world.rank(), 0, e);
+    std::vector<int> triv(static_cast<std::size_t>(m), -777);
+    const int blocks = cartcomm::cart_neighbor_reduce(
+        sb.data(), triv.data(), m, ty, op, cc, Algorithm::trivial, order);
+    int live = 0;
+    for (int e = 0; e < m; ++e) {
+      // Straight-line oracle: fold the on-mesh contributions in neighbor
+      // index order, exactly as the trivial algorithm documents.
+      int acc = fuzz_op_identity(which);
+      bool first = true;
+      int nlive = 0;
+      for (int i = 0; i < t; ++i) {
+        const int src = cc.source_ranks()[static_cast<std::size_t>(i)];
+        if (src == mpl::PROC_NULL) continue;
+        ++nlive;
+        const int v = rvalue(src, 0, e);
+        acc = first ? v : apply_fuzz_op(which, acc, v);
+        first = false;
+      }
+      live = nlive;
+      ASSERT_EQ(triv[static_cast<std::size_t>(e)],
+                first ? fuzz_op_identity(which) : acc)
+          << "reduce trivial vs oracle: rank " << world.rank() << " elem "
+          << e;
+    }
+    ASSERT_EQ(blocks, live) << "rank " << world.rank();
+    if (commutative) {
+      std::vector<int> comb(static_cast<std::size_t>(m), -777);
+      cartcomm::cart_neighbor_reduce(sb.data(), comb.data(), m, ty, op, cc,
+                                     Algorithm::combining, order);
+      for (int e = 0; e < m; ++e) {
+        ASSERT_EQ(comb[static_cast<std::size_t>(e)],
+                  triv[static_cast<std::size_t>(e)])
+            << "reduce combining vs trivial: rank " << world.rank()
+            << " elem " << e;
+      }
+    }
+
+    // -- allreduce: self folded exactly once (appended when absent) --------
+    {
+      std::vector<int> ar(static_cast<std::size_t>(m), -777);
+      cartcomm::cart_neighbor_allreduce(sb.data(), ar.data(), m, ty, op, cc,
+                                        Algorithm::trivial, order);
+      for (int e = 0; e < m; ++e) {
+        int acc = 0;
+        bool first = true;
+        for (int i = 0; i < t; ++i) {
+          const int src = cc.source_ranks()[static_cast<std::size_t>(i)];
+          if (src == mpl::PROC_NULL) continue;
+          const int v = rvalue(src, 0, e);
+          acc = first ? v : apply_fuzz_op(which, acc, v);
+          first = false;
+        }
+        if (!nb.contains_zero_vector()) {
+          const int v = rvalue(world.rank(), 0, e);
+          acc = first ? v : apply_fuzz_op(which, acc, v);
+          first = false;
+        }
+        ASSERT_EQ(ar[static_cast<std::size_t>(e)],
+                  first ? fuzz_op_identity(which) : acc)
+            << "allreduce vs oracle: rank " << world.rank() << " elem " << e;
+      }
+    }
+
+    // -- reduce_scatter_block: block i addressed to the target at N[i] -----
+    {
+      std::vector<int> ssb(static_cast<std::size_t>(t) * m);
+      for (int i = 0; i < t; ++i)
+        for (int e = 0; e < m; ++e)
+          ssb[static_cast<std::size_t>(i) * m + e] =
+              rvalue(world.rank(), i, e);
+      std::vector<int> rs(static_cast<std::size_t>(m), -777);
+      cartcomm::cart_reduce_scatter_block(ssb.data(), rs.data(), m, ty, op,
+                                          cc, Algorithm::trivial, order);
+      for (int e = 0; e < m; ++e) {
+        int acc = 0;
+        bool first = true;
+        for (int i = 0; i < t; ++i) {
+          const int src = cc.source_ranks()[static_cast<std::size_t>(i)];
+          if (src == mpl::PROC_NULL) continue;
+          const int v = rvalue(src, i, e);
+          acc = first ? v : apply_fuzz_op(which, acc, v);
+          first = false;
+        }
+        ASSERT_EQ(rs[static_cast<std::size_t>(e)],
+                  first ? fuzz_op_identity(which) : acc)
+            << "reduce_scatter vs oracle: rank " << world.rank() << " elem "
+            << e;
+      }
+      if (commutative) {
+        std::vector<int> rsc(static_cast<std::size_t>(m), -777);
+        cartcomm::cart_reduce_scatter_block(ssb.data(), rsc.data(), m, ty, op,
+                                            cc, Algorithm::combining, order);
+        for (int e = 0; e < m; ++e) {
+          ASSERT_EQ(rsc[static_cast<std::size_t>(e)],
+                    rs[static_cast<std::size_t>(e)])
+              << "reduce_scatter combining vs trivial: rank " << world.rank()
+              << " elem " << e;
+        }
+      }
+    }
+
+    // -- float: trivial bit-exact vs oracle, combining ULP-bounded ---------
+    {
+      const mpl::Datatype dty = mpl::Datatype::of<double>();
+      std::vector<double> dsb(static_cast<std::size_t>(m));
+      for (int e = 0; e < m; ++e)
+        dsb[static_cast<std::size_t>(e)] =
+            1.0 / (1.0 + rvalue(world.rank(), 0, e));
+      std::vector<double> dtriv(static_cast<std::size_t>(m), 0.0);
+      cartcomm::cart_neighbor_reduce(dsb.data(), dtriv.data(), m, dty,
+                                     mpl::ReduceOp::sum<double>(), cc,
+                                     Algorithm::trivial, order);
+      for (int e = 0; e < m; ++e) {
+        double acc = 0.0;
+        double mag = 0.0;
+        for (int i = 0; i < t; ++i) {
+          const int src = cc.source_ranks()[static_cast<std::size_t>(i)];
+          if (src == mpl::PROC_NULL) continue;
+          const double v = 1.0 / (1.0 + rvalue(src, 0, e));
+          acc += v;
+          mag += v;
+        }
+        // Same association as the oracle loop: bit-exact.
+        ASSERT_EQ(dtriv[static_cast<std::size_t>(e)], acc)
+            << "float reduce trivial vs oracle: rank " << world.rank()
+            << " elem " << e;
+        std::vector<double> dcomb(static_cast<std::size_t>(m), 0.0);
+        cartcomm::cart_neighbor_reduce(dsb.data(), dcomb.data(), m, dty,
+                                       mpl::ReduceOp::sum<double>(), cc,
+                                       Algorithm::combining, order);
+        // Reassociation error only: a handful of ULPs at the result's
+        // magnitude.
+        const double tol =
+            64.0 * std::numeric_limits<double>::epsilon() * (mag + 1.0);
+        ASSERT_NEAR(dcomb[static_cast<std::size_t>(e)], acc, tol)
+            << "float reduce combining: rank " << world.rank() << " elem "
+            << e;
+      }
+    }
+
+    // -- static verification of the reducing schedules ---------------------
+    const cartcomm::SendBlock rsend[1] = {{sb.data(), m, ty}};
+    const cartcomm::RecvBlock rrecv{triv.data(), m, ty};
+    const mpl::ReduceOp sum = mpl::ReduceOp::sum<int>();
+    const cartcomm::Schedule red_comb = cartcomm::build_reduce_schedule(
+        cc, rsend, rrecv, sum, cartcomm::ReduceVariant::reduce, true, order);
+    const cartcomm::VerifyReport vc = cartcomm::verify_schedule(
+        red_comb, cc, cartcomm::ScheduleKind::reduce, order);
+    EXPECT_TRUE(vc.ok()) << vc.to_string();
+    const cartcomm::Schedule red_triv = cartcomm::build_reduce_schedule(
+        cc, rsend, rrecv, sum, cartcomm::ReduceVariant::reduce, false, order);
+    const cartcomm::VerifyReport vt = cartcomm::verify_schedule(
+        red_triv, cc, cartcomm::ScheduleKind::reduce_trivial, order);
+    EXPECT_TRUE(vt.ok()) << vt.to_string();
+
+    // Cross-rank: merge consistency and FIFO pairing of the reducing
+    // rounds (empty boundary payloads are skipped by both sides).
+    const auto summaries = cartcomm::gather_summaries(
+        cc.comm(), cartcomm::summarize(red_comb, cc));
+    if (world.rank() == 0) {
+      const cartcomm::VerifyReport global =
+          cartcomm::verify_global(summaries, cc.grid());
+      EXPECT_TRUE(global.ok()) << global.to_string();
+    }
+  });
+}
+
 void log_failing_seed(std::uint64_t seed) {
   std::fprintf(stderr,
                "MPL_FUZZ: failing configuration, replay with "
@@ -225,6 +473,37 @@ TEST(CartFuzz, CombinedMatchesTrivialAndVerifies) {
     SCOPED_TRACE("fuzz seed " + std::to_string(seed) + ": " + fc.describe() +
                  (cache_on ? " [plan cache on]" : " [plan cache off]"));
     run_case(fc);
+    if (::testing::Test::HasFailure()) {
+      log_failing_seed(seed);
+      break;
+    }
+  }
+  cartcomm::plan_cache_set_enabled(true);  // restore the default
+}
+
+TEST(CartFuzz, ReductionsMatchOracleAndVerify) {
+  for (int it = 0; it < g_iters; ++it) {
+    // Same replay discipline as the movement fuzzer: the logged seed reruns
+    // the failing configuration as iteration 0. A distinct seed stream
+    // (offset by a large constant) keeps the reduction cases independent of
+    // the movement cases at the same iteration index.
+    const std::uint64_t seed =
+        g_base_seed + 0x9e3779b97f4a7c15ULL + static_cast<std::uint64_t>(it);
+    std::mt19937_64 rng(seed);
+    const FuzzCase fc = draw_case(rng);
+    const FuzzOp which = static_cast<FuzzOp>(rng() % 4);
+    const cartcomm::DimOrder order = rng() % 2 == 0
+                                         ? cartcomm::DimOrder::increasing_ck
+                                         : cartcomm::DimOrder::natural;
+    const bool cache_on = rng() % 2 == 0;
+    cartcomm::plan_cache_set_enabled(cache_on);
+    if (rng() % 8 == 0) cartcomm::plan_cache_clear();
+    SCOPED_TRACE("reduce fuzz seed " + std::to_string(seed) + ": " +
+                 fc.describe() + " op=" + std::to_string(static_cast<int>(which)) +
+                 (order == cartcomm::DimOrder::natural ? " order=natural"
+                                                       : " order=increasing_ck") +
+                 (cache_on ? " [plan cache on]" : " [plan cache off]"));
+    run_reduce_case(fc, which, order);
     if (::testing::Test::HasFailure()) {
       log_failing_seed(seed);
       break;

@@ -359,3 +359,73 @@ TEST_F(PlanCache, LiveCountersFlowIntoTotals) {
   EXPECT_EQ(after.hits - before.hits, 8u);
   EXPECT_EQ(after.entries, before.entries + 1);
 }
+
+// ---------------------------------------------------------------------------
+// Reducing plans
+// ---------------------------------------------------------------------------
+
+TEST_F(PlanCache, ReducePlansHitTheCacheWithExactAccounting) {
+  // Buffers live outside mpl::run so the bound-schedule keys (plan + rank
+  // + addresses) are stable across passes. Pass 1: one plan compile (miss)
+  // + eight plan hits; pass 2: nine bound-schedule hits. Every build is
+  // exactly one hit or one miss: hits + misses == builds.
+  const auto before = telemetry::plan_cache_totals();
+  std::vector<long long> mine(9), out(9);
+  auto pass = [&] {
+    mpl::run(9, [&](mpl::Comm& world) {
+      const Neighborhood nb = Neighborhood::moore(2);
+      const std::vector<int> dims{3, 3};
+      auto cc = cartcomm::cart_neighborhood_create(world, dims, {}, nb);
+      const std::size_t r = static_cast<std::size_t>(world.rank());
+      mine[r] = world.rank() * 3 + 1;
+      out[r] = -1;
+      cartcomm::cart_neighbor_reduce(&mine[r], &out[r], 1,
+                                     mpl::Datatype::of<long long>(),
+                                     mpl::ReduceOp::sum<long long>(), cc,
+                                     Algorithm::combining);
+      long long expect = 0;
+      for (int s : cc.source_ranks()) expect += s * 3 + 1;
+      ASSERT_EQ(out[r], expect) << "rank " << world.rank();
+    });
+  };
+  pass();
+  EXPECT_EQ(cartcomm::plan_cache_size(), 1u);  // torus: one shared plan
+  pass();
+  EXPECT_EQ(cartcomm::plan_cache_size(), 1u);
+  const auto after = telemetry::plan_cache_totals();
+  EXPECT_EQ(after.misses - before.misses, 1u);
+  EXPECT_EQ(after.hits - before.hits, 17u);
+  EXPECT_EQ((after.hits - before.hits) + (after.misses - before.misses),
+            9u * 2u);
+}
+
+TEST_F(PlanCache, ReduceKeySeparatesOpAlgorithmAndVariant) {
+  // Same neighborhood and block size, different op / algorithm / variant:
+  // distinct plans. Same builtin op across ranks and passes: shared.
+  std::vector<int> mine(9), out(9), sb(9 * 9);
+  mpl::run(9, [&](mpl::Comm& world) {
+    const Neighborhood nb = Neighborhood::moore(2);
+    const std::vector<int> dims{3, 3};
+    auto cc = cartcomm::cart_neighborhood_create(world, dims, {}, nb);
+    const std::size_t r = static_cast<std::size_t>(world.rank());
+    mine[r] = world.rank();
+    cartcomm::cart_neighbor_reduce(&mine[r], &out[r], 1,
+                                   mpl::Datatype::of<int>(),
+                                   mpl::ReduceOp::sum<int>(), cc,
+                                   Algorithm::combining);
+    cartcomm::cart_neighbor_reduce(&mine[r], &out[r], 1,
+                                   mpl::Datatype::of<int>(),
+                                   mpl::ReduceOp::max<int>(), cc,
+                                   Algorithm::combining);
+    cartcomm::cart_neighbor_reduce(&mine[r], &out[r], 1,
+                                   mpl::Datatype::of<int>(),
+                                   mpl::ReduceOp::sum<int>(), cc,
+                                   Algorithm::trivial);
+    cartcomm::cart_reduce_scatter_block(&sb[r * 9], &out[r], 1,
+                                        mpl::Datatype::of<int>(),
+                                        mpl::ReduceOp::sum<int>(), cc,
+                                        Algorithm::combining);
+  });
+  // sum/combining, max/combining, sum/trivial, scatter/combining.
+  EXPECT_EQ(cartcomm::plan_cache_size(), 4u);
+}

@@ -89,6 +89,121 @@ TEST(ScheduleDump, BoundaryProvenanceMarkedEverywhere) {
   EXPECT_EQ(dumps[4].find("null("), std::string::npos) << dumps[4];
 }
 
+namespace {
+
+// Build a combining reduce schedule over the 3-point 1-D neighborhood
+// (m ints), execute it (golden structure must describe a working plan)
+// and return its dump.
+std::string dump_reduce_3point(mpl::Comm& world, const std::vector<int>& dims,
+                               const std::vector<int>& periods, int m) {
+  const Neighborhood nb(1, {-1, 0, 1});
+  auto cc = cartcomm::cart_neighborhood_create(world, dims, periods, nb);
+  std::vector<int> sb(static_cast<std::size_t>(m), world.rank() + 1);
+  std::vector<int> rb(static_cast<std::size_t>(m), -1);
+  const cartcomm::SendBlock sends[1] = {{sb.data(), m, kInt}};
+  const cartcomm::RecvBlock recv{rb.data(), m, kInt};
+  Schedule s = cartcomm::build_reduce_schedule(
+      cc, sends, recv, mpl::ReduceOp::sum<int>(),
+      cartcomm::ReduceVariant::reduce, /*combining=*/true);
+  s.execute(cc.comm());
+  return s.dump();
+}
+
+}  // namespace
+
+TEST(ScheduleDump, ReducingGoldenCornerRankOnMesh) {
+  // Rank 0 of a non-periodic 1-D 3-mesh: the -1 consumer is off-mesh, so
+  // that round sends nothing (boundary provenance) but still folds the
+  // arriving aggregate; the +1 round sends the leaf aggregate and receives
+  // nothing. Reducing rounds render as "reduce<-" and the fold program is
+  // listed with its phase tags (-1 = leaf init before any send packs).
+  std::string corner;
+  mpl::run(3, [&](mpl::Comm& world) {
+    const std::string d = dump_reduce_3point(world, {3}, {0}, 1);
+    if (world.rank() == 0) corner = d;
+  });
+  const std::string kGolden =
+      "schedule: 1 phases, 2 rounds, 1 blocks sent, 0 local copies, "
+      "12 temp bytes, reduce op sum.i4, 3 folds\n"
+      "  phase 0 (2 rounds)\n"
+      "    round 0: offset (-1) send->null(boundary) [0 blk, 0 B]  "
+      "reduce<-1 [1 blk, 4 B]\n"
+      "    round 1: offset (1) send->1 [1 blk, 4 B]  "
+      "reduce<-null(boundary) [0 blk, 0 B]\n"
+      "  folds (3)\n"
+      "    fold 0: phase -1 init 1 elems\n"
+      "    fold 1: phase -1 init 1 elems\n"
+      "    fold 2: phase 0 combine 1 elems\n";
+  EXPECT_EQ(corner, kGolden) << corner;
+}
+
+TEST(ScheduleDump, ReducingDumpBitIdenticalAcrossBuildsAndCacheHits) {
+  // The same inputs must dump byte-identically whether the plan was
+  // freshly compiled, served from the plan cache, or built with the cache
+  // disabled — reducing plans included.
+  auto all_dumps = [](int m) {
+    std::vector<std::string> dumps(9);
+    mpl::run(9, [&](mpl::Comm& world) {
+      dumps[static_cast<std::size_t>(world.rank())] =
+          dump_reduce_3point(world, {9}, {0}, m);
+    });
+    return dumps;
+  };
+  cartcomm::plan_cache_clear();
+  const auto first = all_dumps(2);   // compiles
+  const auto second = all_dumps(2);  // plan-cache hits
+  cartcomm::plan_cache_set_enabled(false);
+  const auto third = all_dumps(2);   // no cache
+  cartcomm::plan_cache_set_enabled(true);
+  cartcomm::plan_cache_clear();
+  for (int r = 0; r < 9; ++r) {
+    const std::size_t ur = static_cast<std::size_t>(r);
+    EXPECT_EQ(first[ur], second[ur]) << "rank " << r;
+    EXPECT_EQ(first[ur], third[ur]) << "rank " << r;
+  }
+}
+
+TEST(ScheduleDump, ReducingMeshProvenanceMarkedEverywhere) {
+  // Reducing schedules obey the same provenance discipline as movement
+  // schedules: every PROC_NULL partner on a mesh carries the boundary
+  // flag, and interior ranks have none. The trivial reducing schedule is
+  // schedule-native too and must render its rounds as "reduce<-".
+  std::vector<std::string> combining(9), trivial(9);
+  mpl::run(9, [&](mpl::Comm& world) {
+    const Neighborhood nb = Neighborhood::moore(2);
+    const std::vector<int> dims{3, 3};
+    const std::vector<int> periods{0, 0};
+    auto cc = cartcomm::cart_neighborhood_create(world, dims, periods, nb);
+    std::vector<int> sb(2, world.rank());
+    std::vector<int> rb(2, -1);
+    const cartcomm::SendBlock sends[1] = {{sb.data(), 2, kInt}};
+    const cartcomm::RecvBlock recv{rb.data(), 2, kInt};
+    const std::size_t r = static_cast<std::size_t>(world.rank());
+    combining[r] = cartcomm::build_reduce_schedule(
+                       cc, sends, recv, mpl::ReduceOp::sum<int>(),
+                       cartcomm::ReduceVariant::reduce, true)
+                       .dump();
+    trivial[r] = cartcomm::build_reduce_schedule(
+                     cc, sends, recv, mpl::ReduceOp::sum<int>(),
+                     cartcomm::ReduceVariant::reduce, false)
+                     .dump();
+  });
+  for (int r = 0; r < 9; ++r) {
+    const std::size_t ur = static_cast<std::size_t>(r);
+    EXPECT_EQ(combining[ur].find("null(UNMARKED)"), std::string::npos)
+        << combining[ur];
+    EXPECT_EQ(trivial[ur].find("null(UNMARKED)"), std::string::npos)
+        << trivial[ur];
+    EXPECT_NE(combining[ur].find("reduce<-"), std::string::npos);
+    EXPECT_NE(trivial[ur].find("reduce<-"), std::string::npos);
+    EXPECT_NE(combining[ur].find("reduce op sum.i4"), std::string::npos);
+    EXPECT_NE(combining[ur].find("  folds ("), std::string::npos);
+  }
+  // The center rank (4) of the 3x3 mesh has no boundary partners.
+  EXPECT_EQ(combining[4].find("null("), std::string::npos) << combining[4];
+  EXPECT_EQ(trivial[4].find("null("), std::string::npos) << trivial[4];
+}
+
 TEST(ScheduleDump, TorusHasNoNullPartners) {
   std::string any;
   mpl::run(9, [&](mpl::Comm& world) {

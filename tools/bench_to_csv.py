@@ -80,6 +80,29 @@ def parse_fig6(text):
     return rows
 
 
+def parse_ablate_reduce(text):
+    """Rows of the trivial-vs-combining reduction ablation."""
+    rows = []
+    in_bench = False
+    for line in text.splitlines():
+        if line.startswith("Ablation: Cart_neighbor_reduce"):
+            in_bench = True
+            continue
+        if line.startswith(("Figure ", "Ablation:", "Table ")):
+            in_bench = False  # another experiment's section begins
+            continue
+        m = re.match(
+            r"d=(\d+) n=(\d+) \(t=\s*(\d+)\) m=\s*(\d+) \| (.*)", line)
+        if not m or not in_bench:
+            continue
+        d, n, t, blk = (int(m.group(i)) for i in range(1, 5))
+        for part in m.group(5).split("|"):
+            vm = re.match(r"\s*(\w+)\s+([\d.]+) ms", part)
+            if vm:
+                rows.append([d, n, t, blk, vm.group(1), float(vm.group(2))])
+    return rows
+
+
 def parse_table1(text):
     rows = []
     in_table = False
@@ -212,6 +235,9 @@ def main():
     write_csv(os.path.join(out, "fig6.csv"),
               ["operation", "m", "variant", "ms", "relative"],
               parse_fig6(text))
+    write_csv(os.path.join(out, "ablate_reduce.csv"),
+              ["d", "n", "t", "m", "variant", "ms"],
+              parse_ablate_reduce(text))
     write_csv(os.path.join(out, "table1.csv"),
               ["d", "n", "t_trivial", "C", "allgather_V", "alltoall_V",
                "cutoff"],

@@ -1,5 +1,12 @@
 #!/usr/bin/env python3
-"""Noise-aware perf comparison of BENCH_transport.json dumps (CI perf gate).
+"""Noise-aware perf comparison of benchmark JSON dumps (CI perf gate).
+
+Accepts BENCH_transport.json ("bench-transport") and BENCH_schedule.json
+("bench-schedule") dumps; the two sides of a comparison must be the same
+kind. Transport dumps are keyed by (workload, p); schedule dumps by
+(bench/variant, d·n·m configuration). Schedule dumps measure virtual
+clocks, which are deterministic — gate them with a tight --max-regression
+(any slowdown is a genuine schedule-quality change, not machine noise).
 
 Two modes:
 
@@ -9,7 +16,7 @@ baseline and fail on regression:
     python3 tools/perf_diff.py --baseline bench/baselines/BENCH_transport.json \
         --current BENCH_transport.json [--max-regression 0.35]
 
-  Per (workload, p) configuration the gate compares the current best-of-reps
+  Per configuration the gate compares the current best-of-reps
   seconds against the baseline's. A config regresses when
 
       current.seconds > baseline.seconds * (1 + max_regression) + noise
@@ -50,12 +57,18 @@ def load(path):
             doc = json.load(fh)
     except (OSError, json.JSONDecodeError) as e:
         fail(f"{path}: {e}")
-    if not isinstance(doc, dict) or doc.get("kind") != "bench-transport":
-        fail(f"{path}: not a bench-transport dump")
+    kind = doc.get("kind") if isinstance(doc, dict) else None
+    if kind not in ("bench-transport", "bench-schedule"):
+        fail(f"{path}: not a bench-transport or bench-schedule dump")
     out = {}
     for r in doc.get("results", []):
-        key = (r.get("workload"), r.get("p"))
-        if None in key or not isinstance(r.get("seconds"), (int, float)):
+        if kind == "bench-transport":
+            key = (r.get("workload"), r.get("p"))
+        else:
+            key = (f"{r.get('bench')}/{r.get('variant')}",
+                   f"d{r.get('d')}n{r.get('n')}m{r.get('m')}")
+        if None in key or "None" in str(key) or \
+                not isinstance(r.get("seconds"), (int, float)):
             fail(f"{path}: malformed result {r!r}")
         r.setdefault("min", r["seconds"])
         r.setdefault("median", r["seconds"])
@@ -66,30 +79,36 @@ def load(path):
     return out
 
 
+def config_label(key):
+    """Human label for a result key of either dump kind."""
+    group, cfg = key
+    return f"{group} p={cfg}" if isinstance(cfg, int) else f"{group} {cfg}"
+
+
 def diff_mode(args):
     base = load(args.baseline)
     cur = load(args.current)
     failures = []
     for key in sorted(base, key=str):
-        workload, p = key
+        label = config_label(key)
         b = base[key]
         c = cur.get(key)
         if c is None:
-            failures.append(f"{workload} p={p}: missing from current run")
+            failures.append(f"{label}: missing from current run")
             continue
         noise = 2.0 * max(b["stddev"], c["stddev"])
         limit = b["seconds"] * (1.0 + args.max_regression) + noise
         delta = (c["seconds"] / b["seconds"] - 1.0) if b["seconds"] > 0 else 0.0
         verdict = "FAIL" if c["seconds"] > limit else "ok"
-        print(f"{verdict:4s} {workload:9s} p={p:<4d} "
+        print(f"{verdict:4s} {label:32s} "
               f"base={b['seconds']:.4g}s cur={c['seconds']:.4g}s "
               f"({delta:+.1%} vs base, limit={limit:.4g}s)")
         if verdict == "FAIL":
             failures.append(
-                f"{workload} p={p}: {c['seconds']:.4g}s exceeds "
+                f"{label}: {c['seconds']:.4g}s exceeds "
                 f"{limit:.4g}s ({delta:+.1%} vs baseline)")
     for key in sorted(set(cur) - set(base), key=str):
-        print(f"new  {key[0]:9s} p={key[1]:<4d} (not in baseline, ignored)")
+        print(f"new  {config_label(key):32s} (not in baseline, ignored)")
     if failures:
         print("perf_diff: regression detected:", file=sys.stderr)
         for f in failures:

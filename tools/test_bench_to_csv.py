@@ -106,6 +106,31 @@ class ScheduleConversion(unittest.TestCase):
         self.assertEqual(float(named["stddev"]), 5e-5)
 
 
+class AblateReduceTextConversion(unittest.TestCase):
+    def test_rows_parsed_with_variant_column(self):
+        text = (
+            "Ablation: Cart_neighbor_reduce trivial vs combining "
+            "(Hydra/OmniPath model, virtual clocks)\n\n"
+            "d=2 n=3 (t=   9) m=  10 | trivial    0.0081 ms | "
+            "combining    0.0058 ms ( 1.39x) | automatic    0.0058 ms\n")
+        with tempfile.TemporaryDirectory() as tmp:
+            src = os.path.join(tmp, "bench_output.txt")
+            out = os.path.join(tmp, "out")
+            with open(src, "w") as fh:
+                fh.write(text)
+            res = subprocess.run(
+                [sys.executable, SCRIPT, src, out],
+                capture_output=True, text=True)
+            self.assertEqual(res.returncode, 0, res.stdout + res.stderr)
+            with open(os.path.join(out, "ablate_reduce.csv"),
+                      newline="") as fh:
+                rows = list(csv.reader(fh))
+        self.assertEqual(rows[0], ["d", "n", "t", "m", "variant", "ms"])
+        self.assertEqual(rows[1], ["2", "3", "9", "10", "trivial", "0.0081"])
+        self.assertEqual(
+            [r[4] for r in rows[1:]], ["trivial", "combining", "automatic"])
+
+
 class MetricsConversion(unittest.TestCase):
     def test_fault_counters_pass_through(self):
         counters = {
